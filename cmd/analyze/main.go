@@ -1,0 +1,64 @@
+// Command analyze is an offline, tcptrace-style reordering analyzer: it
+// reads a raw-IP pcap (such as those cmd/reorder -pcap writes, or any
+// capture converted to LINKTYPE_RAW), groups TCP data segments by flow,
+// and reports per-flow reordering statistics — the Paxson-style counters
+// and the RFC-4737-style sequence metrics (ratio, max extent,
+// n-reordering), including the spurious-fast-retransmit exposure at
+// TCP's classic duplicate-ACK threshold.
+//
+// Usage:
+//
+//	analyze capture.pcap [more.pcap ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reorder/internal/baseline"
+	"reorder/internal/trace"
+)
+
+func main() {
+	minSegs := flag.Int("min", 4, "minimum data segments for a flow to be reported")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [-min N] capture.pcap [...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := analyzeFile(path, *minSegs); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func analyzeFile(path string, minSegs int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cap, err := trace.ReadPcap(f)
+	if err != nil {
+		return err
+	}
+	flows := baseline.AnalyzeAllFlows(cap, minSegs)
+	fmt.Printf("%s: %d packets, %d data flows with >=%d segments\n", path, cap.Len(), len(flows), minSegs)
+	if len(flows) == 0 {
+		return nil
+	}
+	fmt.Printf("%-44s %6s %6s %6s %7s %7s %8s %8s\n",
+		"flow", "segs", "rexmt", "ooo", "rate", "exchg", "max-ext", "3-reord")
+	for _, fr := range flows {
+		m := fr.Metrics
+		fmt.Printf("%-44s %6d %6d %6d %7.4f %7d %8d %8d\n",
+			fr.Flow, fr.Paxson.DataPackets, fr.Paxson.Retransmissions, fr.Paxson.OutOfOrder,
+			fr.Paxson.Rate(), m.Exchanges, m.MaxExtent(), m.NReordered(3))
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Command reorder runs one reordering measurement against a simulated
+// path and prints per-sample verdicts and the summary rates — the
+// interactive face of the library, analogous to running the paper's sting
+// extension against one host.
+//
+// Usage:
+//
+//	reorder -test single -samples 15 -fwd 0.05 -rev 0.02
+//	reorder -test dual -gap 50us -trunk
+//	reorder -test syn -lb
+//	reorder -test transfer -rev 0.1
+//	reorder -test ipid -profile linux24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reorder/internal/core"
+	"reorder/internal/host"
+	"reorder/internal/netem"
+	"reorder/internal/simnet"
+	"reorder/internal/trace"
+)
+
+func main() {
+	var (
+		test     = flag.String("test", "single", "technique: single, dual, syn, transfer, ipid")
+		samples  = flag.Int("samples", 15, "samples per measurement")
+		gap      = flag.Duration("gap", 0, "inter-packet gap between sample pairs")
+		fwd      = flag.Float64("fwd", 0.05, "forward path swap probability")
+		rev      = flag.Float64("rev", 0.02, "reverse path swap probability")
+		loss     = flag.Float64("loss", 0, "loss probability on both paths")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		reversed = flag.Bool("reversed", true, "single connection test: reversed send order")
+		lb       = flag.Bool("lb", false, "place a load balancer with 4 backends in front of the server")
+		trunk    = flag.Bool("trunk", false, "route the forward path over a striped 2-link trunk")
+		profile  = flag.String("profile", "freebsd4", "server profile (freebsd4, linux22, linux24, openbsd3, solaris8, win2000, spec, dual-rst)")
+		verbose  = flag.Bool("v", false, "print each sample")
+		pcapPfx  = flag.String("pcap", "", "write ground-truth captures to <prefix>-{probe-egress,host-ingress,host-egress,probe-ingress}.pcap")
+	)
+	flag.Parse()
+
+	prof, ok := profileByName(*profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	cfg := simnet.Config{
+		Seed:    *seed,
+		Server:  prof,
+		Forward: simnet.PathSpec{SwapProb: *fwd, Loss: *loss},
+		Reverse: simnet.PathSpec{SwapProb: *rev, Loss: *loss},
+	}
+	if *trunk {
+		cfg.Forward.Trunk = &netem.TrunkConfig{FanOut: 2, BurstProb: 0.35, MeanBurstBytes: 2500, RateBps: 1_000_000_000}
+	}
+	if *lb {
+		cfg.Backends = []host.Profile{prof, host.FreeBSD4(), host.Linux22(), host.Windows2000()}
+	}
+	n := simnet.New(cfg)
+	p := core.NewProber(n.Probe(), n.ServerAddr(), *seed+1)
+
+	var res *core.Result
+	var err error
+	switch *test {
+	case "single":
+		res, err = p.SingleConnectionTest(core.SCTOptions{Samples: *samples, Gap: *gap, Reversed: *reversed})
+	case "dual":
+		res, err = p.DualConnectionTest(core.DCTOptions{Samples: *samples, Gap: *gap})
+	case "syn":
+		res, err = p.SYNTest(core.SYNOptions{Samples: *samples, Gap: *gap})
+	case "transfer":
+		res, err = p.DataTransferTest(core.TransferOptions{})
+	case "ipid":
+		rep, err := p.ValidateIPID(core.IPIDCheckOptions{Probes: 16})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("IPID prevalidation of %s (%s): usable=%v score=%.2f constant=%v samples=%d\n",
+			n.ServerAddr(), n.Hosts[0].IPIDPolicy(), rep.Usable(), rep.Score, rep.Constant, rep.Samples)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown test %q\n", *test)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for i, s := range res.Samples {
+			fmt.Printf("sample %2d: forward=%-9s reverse=%-9s gap=%s rtt=%s\n", i, s.Forward, s.Reverse, s.Gap, s.RTT)
+		}
+	}
+	if *pcapPfx != "" {
+		if err := dumpCaptures(*pcapPfx, n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	f, r := res.Forward(), res.Reverse()
+	fmt.Printf("%s test against %s (%s profile)\n", res.Test, res.Target, prof.Name)
+	fmt.Printf("forward: %3d in-order, %3d reordered, %3d discarded -> rate %.4f\n",
+		f.InOrder, f.Reordered, f.Discarded, f.Rate())
+	fmt.Printf("reverse: %3d in-order, %3d reordered, %3d discarded -> rate %.4f\n",
+		r.InOrder, r.Reordered, r.Discarded, r.Rate())
+	fmt.Printf("mean RTT: %s, virtual time elapsed: %s\n", res.MeanRTT(), n.Loop.Now())
+}
+
+// dumpCaptures writes the four ground-truth captures as pcap files.
+func dumpCaptures(prefix string, n *simnet.Net) error {
+	caps := map[string]*trace.Capture{
+		"probe-egress":  n.ProbeEgress,
+		"host-ingress":  n.HostIngress,
+		"host-egress":   n.HostEgress,
+		"probe-ingress": n.ProbeIngress,
+	}
+	for name, c := range caps {
+		path := fmt.Sprintf("%s-%s.pcap", prefix, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := c.WritePcap(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d packets)\n", path, c.Len())
+	}
+	return nil
+}
+
+func profileByName(name string) (host.Profile, bool) {
+	for _, p := range host.Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return host.Profile{}, false
+}

@@ -1,0 +1,96 @@
+// Command survey regenerates the §IV-B host-survey experiments: the Fig 5
+// CDF of per-path reordering rates with the IPID exclusion counts (E2/E6),
+// the E4 pairwise technique-agreement table, the Fig 6 time series on a
+// load-balanced path (E3), and the E7 prior-art baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"reorder/internal/experiments"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "reduced population and rounds")
+		timeseries = flag.Bool("timeseries", false, "also run the Fig 6 time series (E3)")
+		agreement  = flag.Bool("agreement", false, "also run the technique agreement analysis (E4)")
+		baselines  = flag.Bool("baselines", false, "also run the prior-art baselines (E7)")
+		coop       = flag.Bool("cooperative", false, "also validate against a cooperative IPPM session (E10)")
+		all        = flag.Bool("all", false, "run everything")
+		csvPath    = flag.String("csv", "", "also write the Fig 5 CDF as CSV to this path")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultSurvey()
+	if *quick {
+		cfg = experiments.QuickSurvey()
+	}
+	survey := experiments.RunSurvey(cfg)
+	survey.WriteText(os.Stdout)
+	if *csvPath != "" {
+		if err := writeCSVFile(*csvPath, survey.WriteCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *agreement || *all {
+		fmt.Println()
+		experiments.RunAgreement(survey, 0.999).WriteText(os.Stdout)
+	}
+	if *timeseries || *all {
+		fmt.Println()
+		tcfg := experiments.DefaultTimeSeries()
+		if *quick {
+			tcfg = experiments.QuickTimeSeries()
+		}
+		rep, err := experiments.RunTimeSeries(tcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.WriteText(os.Stdout)
+	}
+	if *baselines || *all {
+		fmt.Println()
+		bcfg := experiments.DefaultBaselines()
+		if *quick {
+			bcfg = experiments.QuickBaselines()
+		}
+		rep, err := experiments.RunBaselines(bcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.WriteText(os.Stdout)
+	}
+	if *coop || *all {
+		fmt.Println()
+		ccfg := experiments.DefaultCooperative()
+		if *quick {
+			ccfg = experiments.QuickCooperative()
+		}
+		rep, err := experiments.RunCooperative(ccfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.WriteText(os.Stdout)
+	}
+}
+
+func writeCSVFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,108 @@
+// Command timedist regenerates E5 (Fig 7): the reordering probability of
+// minimum-sized packet pairs as a function of inter-packet spacing,
+// measured with the dual connection test over a striped-trunk path. In
+// addition to the table it renders a small ASCII plot of the decay curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"reorder/internal/experiments"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "sparse schedule, fewer samples per point")
+		samples    = flag.Int("samples", 0, "override samples per point (paper: 1000)")
+		plot       = flag.Bool("plot", true, "render an ASCII plot of the curve")
+		mechanisms = flag.Bool("mechanisms", false, "compare the gap signatures of trunk striping, multi-path routing and L2 ARQ (E8)")
+		csvPath    = flag.String("csv", "", "also write the curve(s) as CSV to this path")
+	)
+	flag.Parse()
+
+	if *mechanisms {
+		mcfg := experiments.DefaultMechanisms()
+		if *quick {
+			mcfg = experiments.QuickMechanisms()
+		}
+		rep, err := experiments.RunMechanisms(mcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.WriteText(os.Stdout)
+		if *csvPath != "" {
+			if err := writeCSVFile(*csvPath, rep.WriteCSV); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	cfg := experiments.DefaultGapSweep()
+	if *quick {
+		cfg = experiments.QuickGapSweep()
+	}
+	if *samples > 0 {
+		cfg.SamplesPerPoint = *samples
+	}
+	rep, err := experiments.RunGapSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.WriteText(os.Stdout)
+	if *csvPath != "" {
+		if err := writeCSVFile(*csvPath, rep.WriteCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *plot {
+		fmt.Println()
+		asciiPlot(rep)
+	}
+}
+
+func writeCSVFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// asciiPlot renders rate-vs-gap as rows of bars, downsampling to at most
+// 40 rows.
+func asciiPlot(rep *experiments.GapSweepReport) {
+	pts := rep.Points
+	if len(pts) == 0 {
+		return
+	}
+	step := (len(pts) + 39) / 40
+	maxRate := 0.0
+	for _, p := range pts {
+		if p.Rate > maxRate {
+			maxRate = p.Rate
+		}
+	}
+	if maxRate == 0 {
+		maxRate = 1
+	}
+	fmt.Println("gap        rate")
+	for i := 0; i < len(pts); i += step {
+		p := pts[i]
+		width := int(p.Rate / maxRate * 50)
+		fmt.Printf("%-9s %7.4f |%s\n", p.Gap.Round(time.Microsecond), p.Rate, strings.Repeat("#", width))
+	}
+}

@@ -1,0 +1,50 @@
+// Command validate regenerates E1, the paper's §IV-A controlled
+// validation: every technique is run over a dummynet-style swapper at each
+// rate combination and its verdicts are scored against trace ground truth.
+// The full grid is the paper's 114 runs of 100 samples; -quick runs a
+// reduced grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"reorder/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced grid for a fast smoke run")
+	samples := flag.Int("samples", 0, "override samples per run")
+	csvPath := flag.String("csv", "", "also write the per-run table as CSV to this path")
+	flag.Parse()
+
+	cfg := experiments.DefaultValidation()
+	if *quick {
+		cfg = experiments.QuickValidation()
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	rep := experiments.RunValidation(cfg)
+	rep.WriteText(os.Stdout)
+	if *csvPath != "" {
+		if err := writeCSVFile(*csvPath, rep.WriteCSV); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeCSVFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

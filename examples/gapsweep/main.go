@@ -1,0 +1,58 @@
+// Gapsweep: the §IV-C time-domain distribution. Reordering on a striped
+// trunk comes from queue imbalance between parallel links, so the
+// probability that a packet pair is exchanged falls off as the pair is
+// spread apart in time. This example measures the full distribution with
+// the public GapSweep API and then answers the question the paper argues
+// only a distribution (not a scalar rate) can: how much pacing makes this
+// path's reordering irrelevant?
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"reorder"
+)
+
+func main() {
+	net := reorder.NewSimNet(reorder.SimConfig{
+		Seed:   42,
+		Server: reorder.FreeBSD4(),
+		Forward: reorder.PathSpec{
+			LinkRate: 1_000_000_000,
+			Trunk: &reorder.TrunkConfig{
+				FanOut:         2,
+				RateBps:        1_000_000_000,
+				BurstProb:      0.35,
+				MeanBurstBytes: 2500,
+			},
+		},
+	})
+	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 43)
+
+	dist, err := p.GapSweep(reorder.GapSweepOptions{
+		Gaps: []time.Duration{
+			0, 10 * time.Microsecond, 25 * time.Microsecond, 50 * time.Microsecond,
+			100 * time.Microsecond, 150 * time.Microsecond, 250 * time.Microsecond,
+			500 * time.Microsecond,
+		},
+		SamplesPerGap: 400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("gap        reordering")
+	for _, pt := range dist.Points {
+		fmt.Printf("%-9s %8.2f%% |%s\n", pt.Gap, pt.Forward*100, strings.Repeat("#", int(pt.Forward*300)))
+	}
+
+	if gap, ok := dist.DecayGap(0.01); ok {
+		fmt.Printf("\npacing packets %v apart reduces this path's reordering below 1%%.\n", gap)
+	}
+	fmt.Println("Back-to-back minimum-sized packets see the most reordering; a protocol")
+	fmt.Println("whose packets are serialization-spread (bulk data) sees almost none —")
+	fmt.Println("which is why the data transfer test underestimates (§IV-B/C).")
+}

@@ -1,0 +1,32 @@
+// Quickstart: measure forward and reverse reordering on one path with the
+// single connection test, using only the public reorder package.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reorder"
+)
+
+func main() {
+	// A simulated path that swaps adjacent packets 5% of the time on the
+	// way to the server and 2% of the time on the way back.
+	net := reorder.NewSimNet(reorder.SimConfig{
+		Seed:    1,
+		Server:  reorder.FreeBSD4(),
+		Forward: reorder.PathSpec{SwapProb: 0.05},
+		Reverse: reorder.PathSpec{SwapProb: 0.02},
+	})
+
+	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 2)
+	res, err := p.SingleConnectionTest(reorder.SCTOptions{Samples: 100, Reversed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, r := res.Forward(), res.Reverse()
+	fmt.Printf("measured %d samples against %s\n", len(res.Samples), res.Target)
+	fmt.Printf("forward path: %.1f%% reordered (%d/%d valid)\n", f.Rate()*100, f.Reordered, f.Valid())
+	fmt.Printf("reverse path: %.1f%% reordered (%d/%d valid)\n", r.Rate()*100, r.Reordered, r.Valid())
+}

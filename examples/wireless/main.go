@@ -1,0 +1,54 @@
+// Wireless: reordering from layer-2 retransmission, one of the causes the
+// paper's conclusion enumerates. An out-of-order ARQ link recovers
+// corrupted frames ~2ms late while later frames pass — producing *deep*
+// reordering (large extents), unlike the adjacent exchanges of queue
+// imbalance. The burst test recovers the full arrival permutation via
+// IPIDs, and the sequence metrics translate it into protocol impact:
+// how many events would a TCP sender's fast retransmit misread as loss?
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"reorder"
+)
+
+func main() {
+	net := reorder.NewSimNet(reorder.SimConfig{
+		Seed:   3,
+		Server: reorder.FreeBSD4(),
+		Forward: reorder.PathSpec{
+			LinkRate: 1_000_000_000,
+			ARQ: &reorder.ARQConfig{
+				FrameErrorRate:  0.15,
+				RetransmitDelay: 2 * time.Millisecond,
+			},
+		},
+	})
+	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 4)
+
+	res, err := p.BurstTest(reorder.BurstOptions{
+		BurstSize: 8,
+		Bursts:    50,
+		Gap:       100 * time.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f := res.ForwardAggregate()
+	fmt.Printf("sent %d packets in %d trains of %d across a lossy wireless hop\n",
+		f.Sent, len(res.Bursts), res.Options.BurstSize)
+	fmt.Printf("received: %d   reordered: %d (ratio %.1f%%)\n", f.Received, f.Reordered, f.Ratio()*100)
+	fmt.Printf("max reordering extent: %d packets\n", f.MaxExtent())
+	for n := 1; n <= f.MaxExtent() && n <= 6; n++ {
+		fmt.Printf("  %d-reordered packets: %d\n", n, f.NReordered(n))
+	}
+	fmt.Printf("\nevents a dupthresh-3 TCP sender would misread as loss: %d\n",
+		f.SpuriousFastRetransmits(3))
+	fmt.Println("(compare: queue-imbalance reordering is almost all extent-1,")
+	fmt.Println(" which never triggers fast retransmit — the distribution, not")
+	fmt.Println(" the scalar rate, is what predicts protocol impact)")
+}

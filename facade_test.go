@@ -1,0 +1,91 @@
+package reorder_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"reorder"
+)
+
+// The facade must support the README's workflows end to end without
+// touching internal packages.
+
+func TestFacadeQuickstart(t *testing.T) {
+	net := reorder.NewSimNet(reorder.SimConfig{
+		Seed:    1,
+		Server:  reorder.FreeBSD4(),
+		Forward: reorder.PathSpec{SwapProb: 0.05},
+		Reverse: reorder.PathSpec{SwapProb: 0.02},
+	})
+	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 2)
+	res, err := p.SingleConnectionTest(reorder.SCTOptions{Samples: 50, Reversed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Forward().Valid() != 50 {
+		t.Fatalf("forward: %+v", res.Forward())
+	}
+	if res.MeanRTT() <= 0 {
+		t.Fatal("no RTT measured")
+	}
+}
+
+func TestFacadeAllTechniques(t *testing.T) {
+	net := reorder.NewSimNet(reorder.SimConfig{Seed: 3, Server: reorder.FreeBSD4()})
+	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 4)
+	if _, err := p.DualConnectionTest(reorder.DCTOptions{Samples: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SYNTest(reorder.SYNOptions{Samples: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DataTransferTest(reorder.TransferOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BurstTest(reorder.BurstOptions{BurstSize: 4, Bursts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := p.ValidateIPID(reorder.IPIDCheckOptions{}); err != nil || !rep.Usable() {
+		t.Fatalf("IPID validation: %v %+v", err, rep)
+	}
+}
+
+func TestFacadeErrorsAndProfiles(t *testing.T) {
+	net := reorder.NewSimNet(reorder.SimConfig{Seed: 5, Server: reorder.Linux24()})
+	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 6)
+	if _, err := p.DualConnectionTest(reorder.DCTOptions{Samples: 2}); !errors.Is(err, reorder.ErrIPIDUnusable) {
+		t.Fatalf("err = %v, want ErrIPIDUnusable", err)
+	}
+	if len(reorder.HostCatalog()) < 8 {
+		t.Fatal("catalog too small")
+	}
+}
+
+func TestFacadeGapSweep(t *testing.T) {
+	net := reorder.NewSimNet(reorder.SimConfig{
+		Seed:   7,
+		Server: reorder.FreeBSD4(),
+		Forward: reorder.PathSpec{
+			LinkRate: 1_000_000_000,
+			Trunk:    &reorder.TrunkConfig{FanOut: 2, RateBps: 1_000_000_000, BurstProb: 0.2, MeanBurstBytes: 2500},
+		},
+	})
+	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 8)
+	dist, err := p.GapSweep(reorder.GapSweepOptions{
+		Gaps:          []time.Duration{0, 300 * time.Microsecond},
+		SamplesPerGap: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.ForwardAt(0) <= dist.ForwardAt(300*time.Microsecond) {
+		t.Fatal("no gap decay through the facade")
+	}
+}
+
+func TestFacadeVerdictConstants(t *testing.T) {
+	if reorder.VerdictReordered.String() != "reordered" || !reorder.VerdictInOrder.Valid() {
+		t.Fatal("verdict constants wrong")
+	}
+}

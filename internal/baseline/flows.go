@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"sort"
+
+	"reorder/internal/metrics"
+	"reorder/internal/packet"
+	"reorder/internal/trace"
+)
+
+// FlowReport is the offline analysis of one unidirectional TCP data flow
+// in a capture: the Paxson-style counters plus the full sequence metrics.
+type FlowReport struct {
+	Flow    packet.FlowKey
+	Paxson  PaxsonReport
+	Metrics *metrics.Report
+}
+
+// AnalyzeAllFlows groups a capture's TCP data segments by flow and analyzes
+// each flow carrying at least minSegments first-transmission segments. It
+// is the library form of a tcptrace-style post-hoc tool: point it at any
+// raw-IP pcap and get per-flow reordering numbers. Flows are returned in
+// deterministic (string) order.
+func AnalyzeAllFlows(c *trace.Capture, minSegments int) []FlowReport {
+	if minSegments < 2 {
+		minSegments = 2
+	}
+	type flowState struct {
+		seqs []uint32
+		seen map[uint32]bool
+	}
+	flows := map[packet.FlowKey]*flowState{}
+	for _, rec := range c.Records() {
+		p, err := rec.Decode()
+		if err != nil || p.TCP == nil || len(p.Payload) == 0 {
+			continue
+		}
+		k := p.Flow()
+		st := flows[k]
+		if st == nil {
+			st = &flowState{seen: map[uint32]bool{}}
+			flows[k] = st
+		}
+		if st.seen[p.TCP.Seq] {
+			continue // retransmission; PaxsonReport counts it separately
+		}
+		st.seen[p.TCP.Seq] = true
+		st.seqs = append(st.seqs, p.TCP.Seq)
+	}
+
+	var out []FlowReport
+	for k, st := range flows {
+		if len(st.seqs) < minSegments {
+			continue
+		}
+		out = append(out, FlowReport{
+			Flow:    k,
+			Paxson:  AnalyzeCapture(c, k),
+			Metrics: metrics.Analyze(seqRanks(st.seqs)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow.String() < out[j].Flow.String() })
+	return out
+}
+
+// seqRanks converts arrival-ordered sequence numbers into send positions by
+// rank (the sender transmits sequentially), the form the sequence metrics
+// consume. Wraparound-aware.
+func seqRanks(seqs []uint32) []int {
+	sorted := append([]uint32(nil), seqs...)
+	sort.Slice(sorted, func(i, j int) bool { return packet.SeqLT(sorted[i], sorted[j]) })
+	rank := make(map[uint32]int, len(sorted))
+	for i, s := range sorted {
+		rank[s] = i
+	}
+	pos := make([]int, len(seqs))
+	for i, s := range seqs {
+		pos[i] = rank[s]
+	}
+	return pos
+}

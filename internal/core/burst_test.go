@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"reorder/internal/core"
+	"reorder/internal/host"
+	"reorder/internal/netem"
+	"reorder/internal/simnet"
+)
+
+func TestBurstCleanPath(t *testing.T) {
+	p, _ := newProber(simnet.Config{Seed: 60, Server: host.FreeBSD4()})
+	res, err := p.BurstTest(core.BurstOptions{BurstSize: 5, Bursts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bursts) != 6 {
+		t.Fatalf("bursts = %d", len(res.Bursts))
+	}
+	for i, b := range res.Bursts {
+		if b.Received != 5 {
+			t.Fatalf("burst %d received %d/5", i, b.Received)
+		}
+		if f := b.Forward(); f.Reordered != 0 {
+			t.Fatalf("burst %d forward: %v (arrivals %v)", i, f, b.ForwardArrivals)
+		}
+		if r := b.Reverse(); r.Reordered != 0 {
+			t.Fatalf("burst %d reverse: %v", i, r)
+		}
+	}
+	agg := res.ForwardAggregate()
+	if agg.Received != 30 || agg.Reordered != 0 {
+		t.Fatalf("aggregate: %v", agg)
+	}
+}
+
+func TestBurstDetectsForwardReordering(t *testing.T) {
+	p, _ := newProber(simnet.Config{
+		Seed: 61, Server: host.FreeBSD4(),
+		Forward: simnet.PathSpec{SwapProb: 0.5},
+	})
+	res, err := p.BurstTest(core.BurstOptions{BurstSize: 5, Bursts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.ForwardAggregate()
+	if f.Reordered == 0 || f.Exchanges == 0 {
+		t.Fatalf("heavy swapping invisible to burst test: %v", f)
+	}
+	// Adjacent swaps have extent 1; dupthresh-3 events must be absent.
+	if f.SpuriousFastRetransmits(3) != 0 {
+		t.Fatalf("adjacent swaps produced 3-reordering: %v", f.NReordering)
+	}
+	// Reverse stays clean.
+	if r := res.ReverseAggregate(); r.Reordered != 0 {
+		t.Fatalf("reverse polluted: %v", r)
+	}
+}
+
+func TestBurstDeepReorderingViaARQ(t *testing.T) {
+	// An out-of-order L2 ARQ link holds one packet ~2ms while the rest of
+	// the train passes: reordering extents beyond 1, i.e. events TCP's
+	// fast retransmit would misread. This is the protocol-impact analysis
+	// the metric layer enables.
+	p, _ := newProber(simnet.Config{
+		Seed: 62, Server: host.FreeBSD4(),
+		Forward: simnet.PathSpec{
+			LinkRate: 1_000_000_000,
+			ARQ:      &netem.ARQConfig{FrameErrorRate: 0.25, RetransmitDelay: 2 * time.Millisecond},
+		},
+	})
+	res, err := p.BurstTest(core.BurstOptions{BurstSize: 8, Bursts: 20, Gap: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.ForwardAggregate()
+	if f.Reordered == 0 {
+		t.Fatalf("ARQ reordering invisible: %v", f)
+	}
+	if f.MaxExtent() < 3 {
+		t.Fatalf("max extent = %d, want deep reordering from ARQ recovery", f.MaxExtent())
+	}
+	if f.SpuriousFastRetransmits(3) == 0 {
+		t.Fatal("no dupthresh-3 events despite deep reordering")
+	}
+}
+
+func TestBurstRejectsBadIPID(t *testing.T) {
+	p, _ := newProber(simnet.Config{Seed: 63, Server: host.OpenBSD3()})
+	_, err := p.BurstTest(core.BurstOptions{BurstSize: 4, Bursts: 2})
+	if !errors.Is(err, core.ErrIPIDUnusable) {
+		t.Fatalf("err = %v, want ErrIPIDUnusable", err)
+	}
+}
+
+func TestBurstSurvivesLoss(t *testing.T) {
+	p, _ := newProber(simnet.Config{
+		Seed: 64, Server: host.FreeBSD4(),
+		Forward: simnet.PathSpec{Loss: 0.1},
+	})
+	res, err := p.BurstTest(core.BurstOptions{BurstSize: 5, Bursts: 10, ReplyTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.ForwardAggregate()
+	if agg.Received == 0 || agg.Received >= 50 {
+		t.Fatalf("received %d of 50 under 10%% loss", agg.Received)
+	}
+	if agg.Reordered != 0 {
+		t.Fatalf("loss misread as reordering: %v", agg)
+	}
+}
+
+func TestBurstString(t *testing.T) {
+	p, _ := newProber(simnet.Config{Seed: 65, Server: host.FreeBSD4()})
+	res, err := p.BurstTest(core.BurstOptions{BurstSize: 3, Bursts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.String(); s == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"time"
+
+	"reorder/internal/ipid"
+	"reorder/internal/packet"
+)
+
+// DCTOptions configures the dual connection test (§III-C).
+type DCTOptions struct {
+	// Samples is the number of packet-pair measurements.
+	Samples int
+	// Gap spaces the two sample packets; sweeping it yields the Fig 7
+	// time-domain distribution.
+	Gap time.Duration
+	// Port is the target TCP port (default 80).
+	Port uint16
+	// ReplyTimeout bounds each wait for an acknowledgment (default 1s;
+	// all DCT acknowledgments are immediate, so this only covers RTT).
+	ReplyTimeout time.Duration
+	// ValidationProbes is the number of IPID observations collected by the
+	// prevalidation pass (default 12).
+	ValidationProbes int
+	// SkipValidation runs the test without the prevalidation pass —
+	// exactly the mistake the paper warns produces spurious results; it
+	// exists so experiments can demonstrate the failure.
+	SkipValidation bool
+}
+
+func (o DCTOptions) defaults() DCTOptions {
+	if o.Samples == 0 {
+		o.Samples = 15
+	}
+	if o.Port == 0 {
+		o.Port = 80
+	}
+	if o.ReplyTimeout == 0 {
+		o.ReplyTimeout = time.Second
+	}
+	if o.ValidationProbes == 0 {
+		o.ValidationProbes = 12
+	}
+	return o
+}
+
+// DualConnectionTest measures both directions using two TCP connections and
+// the remote host's IPID stream. Each sample sends one out-of-window packet
+// on each connection; the receiver acknowledges both immediately (no
+// delayed-ACK interference), and the IPIDs stamped on the acknowledgments
+// recover the order the remote host received — and sent — them.
+//
+// Unless SkipValidation is set, the target's IPID behaviour is validated
+// first; ErrIPIDUnusable is returned for hosts with random or constant
+// IPIDs or whose connections terminate on different machines behind a load
+// balancer (Fig 3).
+func (p *Prober) DualConnectionTest(o DCTOptions) (*Result, error) {
+	o = o.defaults()
+
+	ca, err := p.connect(o.Port, defaultConnect())
+	if err != nil {
+		return nil, err
+	}
+	defer ca.reset()
+	cb, err := p.connect(o.Port, defaultConnect())
+	if err != nil {
+		return nil, err
+	}
+	defer cb.reset()
+
+	if !o.SkipValidation {
+		rep := p.validateIPID(ca, cb, o)
+		if !rep.Usable() {
+			return nil, ErrIPIDUnusable
+		}
+	}
+
+	res := &Result{Test: "dual", Target: p.target}
+	for i := 0; i < o.Samples; i++ {
+		s := p.dctSample(ca, cb, o)
+		s.Gap = o.Gap
+		res.Samples = append(res.Samples, s)
+	}
+	return res, nil
+}
+
+// ping sends the connection's out-of-window probe: one byte one past the
+// sequence the server expects, which is queued out-of-order and acknowledged
+// immediately without advancing any state. It can be repeated indefinitely.
+func (c *conn) ping() uint64 {
+	return c.sendSeg(packet.FlagACK, c.iss+2, c.rcvNxt, []byte{'p'}, nil)
+}
+
+// awaitPingAck waits for the immediate duplicate ACK a ping elicits
+// (ack = iss+1) and returns the packet for its IPID.
+func (c *conn) awaitPingAck(timeout time.Duration) (*packet.Packet, uint64, bool) {
+	return c.awaitSeg(timeout, func(h *packet.TCPHeader) bool {
+		return h.HasFlags(packet.FlagACK) && h.Flags&(packet.FlagSYN|packet.FlagRST|packet.FlagFIN) == 0 &&
+			h.Ack == c.iss+1
+	})
+}
+
+// dctSample sends the pair (connection A first) and classifies.
+func (p *Prober) dctSample(ca, cb *conn, o DCTOptions) Sample {
+	p.flushPort(ca.lport)
+	p.flushPort(cb.lport)
+
+	var s Sample
+	sentAt := p.tp.Now()
+	s.SentIDs[0] = ca.ping()
+	if o.Gap > 0 {
+		p.tp.Sleep(o.Gap)
+	}
+	s.SentIDs[1] = cb.ping()
+
+	// Collect both acknowledgments in arrival order.
+	type reply struct {
+		conn *conn
+		ipid uint16
+		id   uint64
+	}
+	var replies []reply
+	deadline := p.tp.Now().Add(o.ReplyTimeout)
+	seen := map[*conn]bool{}
+	for len(replies) < 2 {
+		remaining := deadline.Sub(p.tp.Now())
+		if remaining <= 0 {
+			break
+		}
+		pkt, id, ok := p.awaitTCP(remaining, func(q *packet.Packet) bool {
+			for _, c := range []*conn{ca, cb} {
+				if !seen[c] && q.TCP.SrcPort == c.rport && q.TCP.DstPort == c.lport &&
+					q.TCP.HasFlags(packet.FlagACK) &&
+					q.TCP.Flags&(packet.FlagSYN|packet.FlagRST|packet.FlagFIN) == 0 &&
+					q.TCP.Ack == c.iss+1 {
+					return true
+				}
+			}
+			return false
+		})
+		if !ok {
+			break
+		}
+		which := ca
+		if pkt.TCP.DstPort == cb.lport {
+			which = cb
+		}
+		if len(replies) == 0 {
+			s.RTT = p.tp.Now().Sub(sentAt)
+		}
+		seen[which] = true
+		replies = append(replies, reply{conn: which, ipid: pkt.IP.ID, id: id})
+	}
+
+	if len(replies) < 2 {
+		return Sample{Forward: VerdictLost, Reverse: VerdictLost, SentIDs: s.SentIDs, RTT: s.RTT}
+	}
+	s.ReplyIPIDs = [2]uint16{replies[0].ipid, replies[1].ipid}
+	s.ReplyIDs = [2]uint64{replies[0].id, replies[1].id}
+
+	// Identify each connection's acknowledgment IPID.
+	var ia, ib uint16
+	for _, r := range replies {
+		if r.conn == ca {
+			ia = r.ipid
+		} else {
+			ib = r.ipid
+		}
+	}
+	if ia == ib {
+		// A shared strictly increasing counter cannot produce equal IPIDs;
+		// prevalidation should have caught this, but classify defensively.
+		return Sample{Forward: VerdictAmbiguous, Reverse: VerdictAmbiguous, SentIDs: s.SentIDs, ReplyIPIDs: s.ReplyIPIDs}
+	}
+
+	// Forward: we sent A's sample first; the server stamped whichever
+	// arrived first with the smaller IPID.
+	if packet.IPIDLess(ia, ib) {
+		s.Forward = VerdictInOrder
+	} else {
+		s.Forward = VerdictReordered
+	}
+	// Reverse: the server transmitted the acknowledgments in IPID order;
+	// receiving the larger IPID first means they were exchanged in flight.
+	if packet.IPIDLess(replies[0].ipid, replies[1].ipid) {
+		s.Reverse = VerdictInOrder
+	} else {
+		s.Reverse = VerdictReordered
+	}
+	return s
+}
+
+// IPIDCheckOptions configures the standalone IPID prevalidation.
+type IPIDCheckOptions struct {
+	// Probes is the number of observations (default 12).
+	Probes int
+	// Port is the target TCP port (default 80).
+	Port uint16
+	// ReplyTimeout bounds each wait (default 1s).
+	ReplyTimeout time.Duration
+}
+
+// ValidateIPID opens two connections to the target, elicits acknowledgments
+// strictly one at a time while alternating connections, and analyzes the
+// observed IPID stream per §III-C: cross-connection differences must be
+// small positive steps dominated by within-connection differences. The
+// returned report's Usable method gates the dual connection test.
+func (p *Prober) ValidateIPID(o IPIDCheckOptions) (*ipid.Report, error) {
+	if o.Probes == 0 {
+		o.Probes = 12
+	}
+	if o.Port == 0 {
+		o.Port = 80
+	}
+	if o.ReplyTimeout == 0 {
+		o.ReplyTimeout = time.Second
+	}
+	ca, err := p.connect(o.Port, defaultConnect())
+	if err != nil {
+		return nil, err
+	}
+	defer ca.reset()
+	cb, err := p.connect(o.Port, defaultConnect())
+	if err != nil {
+		return nil, err
+	}
+	defer cb.reset()
+	return p.validateIPID(ca, cb, DCTOptions{ValidationProbes: o.Probes, ReplyTimeout: o.ReplyTimeout}), nil
+}
+
+// validateIPID runs the elicitation over existing connections.
+func (p *Prober) validateIPID(ca, cb *conn, o DCTOptions) *ipid.Report {
+	var obs []ipid.Observation
+	conns := [2]*conn{ca, cb}
+	for i := 0; i < o.ValidationProbes; i++ {
+		c := conns[i%2]
+		c.ping()
+		pkt, _, ok := c.awaitPingAck(o.ReplyTimeout)
+		if !ok {
+			continue // lost probe or ack; the report's sample count shrinks
+		}
+		obs = append(obs, ipid.Observation{Conn: i % 2, ID: pkt.IP.ID})
+	}
+	return ipid.Validate(obs)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// GapSweepOptions configures Prober.GapSweep, the packaged form of the
+// paper's §IV-C methodology: the dual connection test repeated across a
+// schedule of inter-packet spacings, yielding the time-domain distribution
+// of the path's reordering process.
+type GapSweepOptions struct {
+	// Gaps is the spacing schedule. Empty uses the paper's: 1µs steps
+	// below 200µs, then 20µs steps to 500µs.
+	Gaps []time.Duration
+	// SamplesPerGap is the pair count per spacing (paper: 1000;
+	// default 200).
+	SamplesPerGap int
+	// DCT carries through options for the underlying test (samples and
+	// gap fields are overridden per point).
+	DCT DCTOptions
+}
+
+func (o GapSweepOptions) defaults() GapSweepOptions {
+	if len(o.Gaps) == 0 {
+		for g := time.Duration(0); g < 200*time.Microsecond; g += time.Microsecond {
+			o.Gaps = append(o.Gaps, g)
+		}
+		for g := 200 * time.Microsecond; g <= 500*time.Microsecond; g += 20 * time.Microsecond {
+			o.Gaps = append(o.Gaps, g)
+		}
+	}
+	if o.SamplesPerGap == 0 {
+		o.SamplesPerGap = 200
+	}
+	return o
+}
+
+// GapRate is one spacing's measured reordering probability.
+type GapRate struct {
+	Gap     time.Duration
+	Forward float64
+	Reverse float64
+	Valid   int
+}
+
+// GapDistribution is the measured time-domain distribution.
+type GapDistribution struct {
+	Points []GapRate
+}
+
+// ForwardAt interpolates (nearest-point) the forward rate at a gap.
+func (d *GapDistribution) ForwardAt(gap time.Duration) float64 {
+	if len(d.Points) == 0 {
+		return 0
+	}
+	i := sort.Search(len(d.Points), func(i int) bool { return d.Points[i].Gap >= gap })
+	if i == len(d.Points) {
+		i--
+	}
+	if i > 0 && gap-d.Points[i-1].Gap < d.Points[i].Gap-gap {
+		i--
+	}
+	return d.Points[i].Forward
+}
+
+// DecayGap returns the smallest measured spacing at which the forward rate
+// stays at or below the threshold from there on — the answer to "how much
+// pacing makes this path's reordering irrelevant to my protocol", the
+// question §IV-C argues the distribution (and not a scalar rate) answers.
+// ok is false if the rate never settles below the threshold.
+func (d *GapDistribution) DecayGap(threshold float64) (time.Duration, bool) {
+	for i := range d.Points {
+		all := true
+		for _, p := range d.Points[i:] {
+			if p.Forward > threshold {
+				all = false
+				break
+			}
+		}
+		if all {
+			return d.Points[i].Gap, true
+		}
+	}
+	return 0, false
+}
+
+// GapSweep measures the reordering probability as a function of the
+// spacing between sample packets, using the dual connection test (whose
+// acknowledgments are all immediate, so spacing is controlled precisely).
+// The IPID prevalidation runs once, on the first point.
+func (p *Prober) GapSweep(o GapSweepOptions) (*GapDistribution, error) {
+	o = o.defaults()
+	dist := &GapDistribution{}
+	skipValidation := false
+	for _, gap := range o.Gaps {
+		opt := o.DCT
+		opt.Samples = o.SamplesPerGap
+		opt.Gap = gap
+		opt.SkipValidation = skipValidation
+		res, err := p.DualConnectionTest(opt)
+		if err != nil {
+			return nil, err
+		}
+		skipValidation = true // validated once; the host does not change mid-sweep
+		f, r := res.Forward(), res.Reverse()
+		dist.Points = append(dist.Points, GapRate{
+			Gap: gap, Forward: f.Rate(), Reverse: r.Rate(), Valid: f.Valid(),
+		})
+	}
+	sort.Slice(dist.Points, func(i, j int) bool { return dist.Points[i].Gap < dist.Points[j].Gap })
+	return dist, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+)
+
+// Errors returned by the measurement techniques.
+var (
+	// ErrHandshake means the target did not complete a TCP handshake.
+	ErrHandshake = errors.New("core: handshake with target failed")
+	// ErrIPIDUnusable means IPID prevalidation rejected the target for the
+	// dual connection test (random, constant, or split counters).
+	ErrIPIDUnusable = errors.New("core: target IPID stream unusable for dual connection test")
+	// ErrNoData means the data transfer test received no data at all.
+	ErrNoData = errors.New("core: target served no data")
+)
+
+// Prober runs measurement techniques against one target over a Transport.
+// It is not safe for concurrent use; run one test at a time.
+type Prober struct {
+	tp     Transport
+	target netip.Addr
+	rng    *sim.Rand
+
+	nextPort uint16
+	buf      []rx // received packets not yet claimed by a waiter
+}
+
+// rx pairs a decoded packet with its network frame ID.
+type rx struct {
+	pkt *packet.Packet
+	id  uint64
+}
+
+// maxBufferedPackets bounds the unclaimed-packet buffer; beyond it the
+// oldest packets are dropped, as a kernel socket buffer would.
+const maxBufferedPackets = 256
+
+// NewProber returns a prober for the given target. The seed drives port and
+// ISN selection, making simulated runs reproducible.
+func NewProber(tp Transport, target netip.Addr, seed uint64) *Prober {
+	return &Prober{
+		tp:     tp,
+		target: target,
+		rng:    sim.NewRand(seed, 0x9b0be),
+		// Ephemeral range start; advanced per connection.
+		nextPort: 40000,
+	}
+}
+
+// Target returns the probed address.
+func (p *Prober) Target() netip.Addr { return p.target }
+
+func (p *Prober) allocPort() uint16 {
+	port := p.nextPort
+	p.nextPort++
+	if p.nextPort < 40000 {
+		p.nextPort = 40000
+	}
+	return port
+}
+
+// flushPort discards buffered packets belonging to the given local port,
+// used between samples to keep stale replies from satisfying later waits.
+func (p *Prober) flushPort(lport uint16) {
+	kept := p.buf[:0]
+	for _, q := range p.buf {
+		if q.pkt.TCP != nil && q.pkt.TCP.DstPort == lport {
+			continue
+		}
+		kept = append(kept, q)
+	}
+	p.buf = kept
+}
+
+// awaitTCP returns the first TCP packet from the target matching the
+// predicate, with its frame ID, buffering non-matching packets for other
+// waiters.
+func (p *Prober) awaitTCP(timeout time.Duration, match func(*packet.Packet) bool) (*packet.Packet, uint64, bool) {
+	for i, q := range p.buf {
+		if match(q.pkt) {
+			p.buf = append(p.buf[:i], p.buf[i+1:]...)
+			return q.pkt, q.id, true
+		}
+	}
+	deadline := p.tp.Now().Add(timeout)
+	for {
+		remaining := deadline.Sub(p.tp.Now())
+		if remaining <= 0 {
+			return nil, 0, false
+		}
+		data, id, ok := p.tp.Recv(remaining)
+		if !ok {
+			return nil, 0, false
+		}
+		pkt, err := packet.Decode(data)
+		if err != nil || pkt.TCP == nil {
+			continue
+		}
+		if pkt.IP.Dst != p.tp.LocalAddr() || pkt.IP.Src != p.target {
+			continue
+		}
+		if match(pkt) {
+			return pkt, id, true
+		}
+		if len(p.buf) >= maxBufferedPackets {
+			p.buf = p.buf[1:]
+		}
+		p.buf = append(p.buf, rx{pkt: pkt, id: id})
+	}
+}
+
+// conn is the prober's client-side view of one TCP connection to the
+// target. The prober crafts raw segments rather than using a kernel stack,
+// exactly as sting did.
+type conn struct {
+	p            *Prober
+	lport, rport uint16
+	iss          uint32 // our initial sequence number
+	serverISS    uint32
+	rcvNxt       uint32 // next sequence expected from the server
+	window       uint16 // window we advertise
+}
+
+// connectConfig tunes the handshake.
+type connectConfig struct {
+	mss     uint16 // MSS option value; 0 omits the option
+	sackOK  bool
+	window  uint16
+	retries int
+	timeout time.Duration
+}
+
+func defaultConnect() connectConfig {
+	return connectConfig{window: 65535, retries: 3, timeout: time.Second}
+}
+
+// connect performs the three-way handshake.
+func (p *Prober) connect(rport uint16, cc connectConfig) (*conn, error) {
+	c := &conn{
+		p: p, lport: p.allocPort(), rport: rport,
+		iss:    p.rng.Uint32(),
+		window: cc.window,
+	}
+	var opts []packet.TCPOption
+	if cc.mss != 0 {
+		opts = append(opts, packet.MSSOption(cc.mss))
+	}
+	if cc.sackOK {
+		opts = append(opts, packet.SACKPermittedOption())
+	}
+	for try := 0; try <= cc.retries; try++ {
+		c.sendSeg(packet.FlagSYN, c.iss, 0, nil, opts)
+		pkt, _, ok := p.awaitTCP(cc.timeout, func(q *packet.Packet) bool {
+			return q.TCP.SrcPort == c.rport && q.TCP.DstPort == c.lport &&
+				q.TCP.HasFlags(packet.FlagSYN|packet.FlagACK) && q.TCP.Ack == c.iss+1
+		})
+		if !ok {
+			continue
+		}
+		c.serverISS = pkt.TCP.Seq
+		c.rcvNxt = pkt.TCP.Seq + 1
+		c.sendSeg(packet.FlagACK, c.iss+1, c.rcvNxt, nil, nil)
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: %s port %d", ErrHandshake, p.target, rport)
+}
+
+// sendSeg transmits one raw segment on the connection and returns its frame
+// ID.
+func (c *conn) sendSeg(flags uint8, seq, ack uint32, payload []byte, opts []packet.TCPOption) uint64 {
+	return c.sendSegTOS(0, flags, seq, ack, payload, opts)
+}
+
+// sendSegTOS is sendSeg with an explicit IP TOS marking, used by the
+// DiffServ-aware single connection test variant.
+func (c *conn) sendSegTOS(tos uint8, flags uint8, seq, ack uint32, payload []byte, opts []packet.TCPOption) uint64 {
+	return c.p.sendRawTOS(tos, c.lport, c.rport, flags, seq, ack, c.window, payload, opts)
+}
+
+// sendRaw crafts and transmits an arbitrary segment to the target.
+func (p *Prober) sendRaw(lport, rport uint16, flags uint8, seq, ack uint32, window uint16, payload []byte, opts []packet.TCPOption) uint64 {
+	return p.sendRawTOS(0, lport, rport, flags, seq, ack, window, payload, opts)
+}
+
+// sendRawTOS is sendRaw with an explicit IP TOS marking.
+func (p *Prober) sendRawTOS(tos uint8, lport, rport uint16, flags uint8, seq, ack uint32, window uint16, payload []byte, opts []packet.TCPOption) uint64 {
+	hdr := &packet.TCPHeader{
+		SrcPort: lport, DstPort: rport,
+		Seq: seq, Ack: ack, Flags: flags, Window: window, Options: opts,
+	}
+	ip := &packet.IPv4Header{
+		Src: p.tp.LocalAddr(), Dst: p.target,
+		TOS:   tos,
+		ID:    p.rng.Uint16(), // probe-side IPID is irrelevant to the tests
+		Flags: packet.FlagDF,
+	}
+	raw, err := packet.EncodeTCP(ip, hdr, payload)
+	if err != nil {
+		panic("core: encode: " + err.Error())
+	}
+	return p.tp.Send(raw)
+}
+
+// awaitSeg waits for any segment on this connection.
+func (c *conn) awaitSeg(timeout time.Duration, extra func(*packet.TCPHeader) bool) (*packet.Packet, uint64, bool) {
+	return c.p.awaitTCP(timeout, func(q *packet.Packet) bool {
+		if q.TCP.SrcPort != c.rport || q.TCP.DstPort != c.lport {
+			return false
+		}
+		return extra == nil || extra(q.TCP)
+	})
+}
+
+// awaitAckValue waits for a pure ACK with the exact acknowledgment number.
+func (c *conn) awaitAckValue(timeout time.Duration, want uint32) bool {
+	_, _, ok := c.awaitSeg(timeout, func(h *packet.TCPHeader) bool {
+		return h.HasFlags(packet.FlagACK) && !h.HasFlags(packet.FlagSYN|packet.FlagRST) && h.Ack == want
+	})
+	return ok
+}
+
+// reset aborts the connection with a RST and flushes its buffered packets.
+func (c *conn) reset() {
+	c.sendSeg(packet.FlagRST, c.iss+1, 0, nil, nil)
+	c.p.flushPort(c.lport)
+}

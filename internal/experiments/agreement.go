@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"reorder/internal/stats"
+)
+
+// AgreementPair is the §IV-B paired-difference comparison of two techniques
+// across the surveyed hosts: for each host, their per-round rate series are
+// compared at 99.9% confidence; NullFraction is the fraction of comparable
+// hosts for which the difference is explicable by intra-test variability.
+type AgreementPair struct {
+	TestA, TestB string
+	Direction    string // "forward" or "reverse"
+	Hosts        int    // hosts with enough rounds of both tests
+	NullOK       int    // hosts supporting the null hypothesis
+}
+
+// NullFraction returns NullOK/Hosts (the paper's 78%, 93%, ... numbers).
+func (a AgreementPair) NullFraction() float64 {
+	if a.Hosts == 0 {
+		return 0
+	}
+	return float64(a.NullOK) / float64(a.Hosts)
+}
+
+// AgreementReport holds all pairwise comparisons.
+type AgreementReport struct {
+	Confidence float64
+	Pairs      []AgreementPair
+}
+
+// Pair returns the comparison for (a, b, direction), if present.
+func (rep *AgreementReport) Pair(a, b, dir string) (AgreementPair, bool) {
+	for _, p := range rep.Pairs {
+		if p.TestA == a && p.TestB == b && p.Direction == dir {
+			return p, true
+		}
+	}
+	return AgreementPair{}, false
+}
+
+// WriteText prints the pairwise table.
+func (rep *AgreementReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "E4 technique agreement (paired-difference test @ %.1f%% confidence)\n", rep.Confidence*100)
+	fmt.Fprintf(w, "%-10s %-10s %-8s %6s %7s %9s\n", "test-a", "test-b", "dir", "hosts", "null-ok", "fraction")
+	for _, p := range rep.Pairs {
+		fmt.Fprintf(w, "%-10s %-10s %-8s %6d %7d %8.0f%%\n",
+			p.TestA, p.TestB, p.Direction, p.Hosts, p.NullOK, p.NullFraction()*100)
+	}
+}
+
+// RunAgreement executes E4 over a completed survey. The comparison treats
+// the two series as paired per round, under the paper's stationarity
+// assumption (the measurements were taken at interleaved times).
+func RunAgreement(survey *SurveyReport, confidence float64) *AgreementReport {
+	if confidence == 0 {
+		confidence = 0.999
+	}
+	rep := &AgreementReport{Confidence: confidence}
+	type dirSel struct {
+		name   string
+		series func(*HostRecord, string) []float64
+	}
+	dirs := []dirSel{
+		{"forward", func(h *HostRecord, t string) []float64 { return h.FwdSeries[t] }},
+		{"reverse", func(h *HostRecord, t string) []float64 { return h.RevSeries[t] }},
+	}
+	for _, d := range dirs {
+		for i, a := range TestNames {
+			for _, b := range TestNames[i+1:] {
+				if d.name == "forward" && (a == "transfer" || b == "transfer") {
+					continue // the transfer test has no forward direction
+				}
+				pair := AgreementPair{TestA: a, TestB: b, Direction: d.name}
+				for _, h := range survey.Hosts {
+					sa, sb := d.series(h, a), d.series(h, b)
+					n := min(len(sa), len(sb))
+					if n < 3 {
+						continue
+					}
+					pair.Hosts++
+					if stats.PairDifference(sa[:n], sb[:n], confidence).NullSupported {
+						pair.NullOK++
+					}
+				}
+				rep.Pairs = append(rep.Pairs, pair)
+			}
+		}
+	}
+	return rep
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestImpactShape(t *testing.T) {
+	rep, err := RunImpact(ImpactConfig{
+		Jitters: []time.Duration{0, 2 * time.Millisecond},
+		Bytes:   128 << 10,
+		Seed:    99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	clean, dirty := rep.Rows[0], rep.Rows[1]
+
+	// The clean path: no reordering measured, no retransmissions, both
+	// senders equivalent.
+	if clean.MeasuredRate != 0 || clean.Reno.FastRetransmits != 0 {
+		t.Fatalf("clean row: %+v", clean)
+	}
+	// The reordering path: measured by the tools AND damaging to Reno.
+	if dirty.MeasuredRate == 0 {
+		t.Error("tools measured no reordering on the jittered path")
+	}
+	if dirty.PredictedDeepFrac == 0 {
+		t.Error("burst test predicted no deep reordering")
+	}
+	if dirty.Reno.FastRetransmits == 0 || dirty.Reno.SpuriousFast == 0 {
+		t.Errorf("Reno not damaged: %+v", dirty.Reno)
+	}
+	// The paper's motivation: throughput drops under reordering.
+	if dirty.Reno.Throughput() >= clean.Reno.Throughput() {
+		t.Errorf("no throughput damage: clean %.0f vs dirty %.0f",
+			clean.Reno.Throughput(), dirty.Reno.Throughput())
+	}
+	// The cited proposals' fix: adaptation outperforms fixed dupthresh on
+	// the reordering path.
+	if dirty.Adaptive.Throughput() <= dirty.Reno.Throughput() {
+		t.Errorf("adaptation did not help: reno %.0f vs adaptive %.0f",
+			dirty.Reno.Throughput(), dirty.Adaptive.Throughput())
+	}
+	if dirty.Adaptive.FinalDupThresh <= 3 {
+		t.Errorf("threshold never adapted: %+v", dirty.Adaptive)
+	}
+
+	var sb strings.Builder
+	rep.WriteText(&sb)
+	if !strings.Contains(sb.String(), "E9") {
+		t.Error("report text missing header")
+	}
+}

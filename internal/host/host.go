@@ -1,0 +1,171 @@
+// Package host assembles a simulated remote endpoint: a TCP stack with an
+// implementation profile, an IPID generation policy, and an ICMP echo
+// responder with optional rate limiting — everything the paper's techniques
+// probe. A Host is a netem.Node: the network delivers frames to it and it
+// transmits frames back through its configured egress.
+package host
+
+import (
+	"net/netip"
+
+	"reorder/internal/ipid"
+	"reorder/internal/netem"
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+	"reorder/internal/tcpstack"
+)
+
+// ICMPConfig controls the echo responder. The zero value answers every
+// request, unlimited — but see Profile defaults; many operators filter or
+// rate-limit ICMP, which is one of the paper's arguments against
+// ping-based measurement (§II).
+type ICMPConfig struct {
+	// Filtered drops all echo requests silently.
+	Filtered bool
+	// RatePerSec caps replies per second (token bucket of the same burst
+	// size). Zero means unlimited.
+	RatePerSec int
+}
+
+// Host is one simulated endpoint.
+type Host struct {
+	Stack *tcpstack.Stack
+
+	loop *sim.Loop
+	addr netip.Addr
+	gen  ipid.Generator
+	ids  *netem.FrameIDs
+	out  netem.Node
+	icmp ICMPConfig
+
+	reasm      *packet.Reassembler
+	udpApps    map[uint16]func(*packet.Packet)
+	tokens     float64
+	lastRefill sim.Time
+
+	echoesAnswered uint64
+	echoesDropped  uint64
+}
+
+// New builds a host at addr from a profile. The rng seeds the stack's ISN
+// generator and any stochastic IPID policy. Frames are transmitted to out.
+func New(loop *sim.Loop, p Profile, addr netip.Addr, rng *sim.Rand, ids *netem.FrameIDs, out netem.Node) *Host {
+	gen := p.IPID(rng.Fork(forkIPID))
+	h := &Host{
+		loop: loop, addr: addr, gen: gen, ids: ids, out: out, icmp: p.ICMP,
+		tokens: float64(p.ICMP.RatePerSec),
+	}
+	h.Stack = tcpstack.New(loop, p.TCP, addr, gen, ids, rng.Fork(forkISN), out)
+	for _, port := range p.Ports {
+		h.Stack.Listen(port)
+	}
+	return h
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() netip.Addr { return h.addr }
+
+// IPIDPolicy returns the name of the host's IPID generation policy.
+func (h *Host) IPIDPolicy() string { return h.gen.Name() }
+
+// EchoesAnswered returns how many echo requests were answered.
+func (h *Host) EchoesAnswered() uint64 { return h.echoesAnswered }
+
+// Input implements netem.Node: frames from the network. Fragmented
+// datagrams are reassembled first, as the host's IP layer would.
+func (h *Host) Input(f *netem.Frame) {
+	if h.reasm == nil {
+		h.reasm = packet.NewReassembler()
+	}
+	whole, err := h.reasm.Input(f.Data)
+	if err != nil || whole == nil {
+		return // malformed, or waiting for more fragments
+	}
+	if len(whole) != len(f.Data) {
+		f = &netem.Frame{ID: f.ID, Data: whole, Born: f.Born}
+	}
+	flow, ok := packet.PeekFlow(f.Data)
+	if !ok || flow.Dst != h.addr {
+		return
+	}
+	switch flow.Proto {
+	case packet.ProtoTCP:
+		h.Stack.Input(f)
+	case packet.ProtoUDP:
+		h.handleUDP(f)
+	case packet.ProtoICMP:
+		h.handleICMP(f)
+	}
+}
+
+// HandleUDP registers an application for UDP datagrams addressed to port —
+// the "deployment at each endpoint" the cooperative IETF measurement
+// methodologies require (§II), which the paper's single-ended techniques
+// exist to avoid.
+func (h *Host) HandleUDP(port uint16, fn func(*packet.Packet)) {
+	if h.udpApps == nil {
+		h.udpApps = make(map[uint16]func(*packet.Packet))
+	}
+	h.udpApps[port] = fn
+}
+
+func (h *Host) handleUDP(f *netem.Frame) {
+	p, err := packet.Decode(f.Data)
+	if err != nil || p.UDP == nil {
+		return
+	}
+	if fn := h.udpApps[p.UDP.DstPort]; fn != nil {
+		fn(p)
+	}
+	// No listener: drop silently (ICMP port-unreachable is out of scope).
+}
+
+func (h *Host) handleICMP(f *netem.Frame) {
+	p, err := packet.Decode(f.Data)
+	if err != nil || p.ICMP == nil || !p.ICMP.IsRequest() {
+		return
+	}
+	if h.icmp.Filtered || !h.takeToken() {
+		h.echoesDropped++
+		return
+	}
+	reply := &packet.ICMPEcho{
+		Type: packet.ICMPEchoReply, Ident: p.ICMP.Ident, Seq: p.ICMP.Seq,
+		Payload: p.ICMP.Payload,
+	}
+	raw, err := packet.EncodeICMP(&packet.IPv4Header{
+		Src: h.addr, Dst: p.IP.Src, ID: h.gen.Next(p.IP.Src),
+	}, reply)
+	if err != nil {
+		return
+	}
+	h.echoesAnswered++
+	h.out.Input(&netem.Frame{ID: h.ids.Next(), Data: raw, Born: h.loop.Now()})
+}
+
+// takeToken implements the ICMP rate limiter as a token bucket refilled in
+// virtual time.
+func (h *Host) takeToken() bool {
+	if h.icmp.RatePerSec <= 0 {
+		return true
+	}
+	now := h.loop.Now()
+	elapsed := now.Sub(h.lastRefill)
+	h.lastRefill = now
+	h.tokens += elapsed.Seconds() * float64(h.icmp.RatePerSec)
+	if max := float64(h.icmp.RatePerSec); h.tokens > max {
+		h.tokens = max
+	}
+	if h.tokens < 1 {
+		return false
+	}
+	h.tokens--
+	return true
+}
+
+// sim.Rand fork labels; distinct constants keep the host's random streams
+// independent of one another.
+const (
+	forkIPID = 0x1d01
+	forkISN  = 0x1d02
+)

@@ -1,0 +1,148 @@
+//go:build linux
+
+// Package livewire implements the core.Transport interface over Linux raw
+// sockets, the real-network counterpart of internal/simnet. It is the
+// moral equivalent of sting's packet-filter access: the prober crafts
+// whole IPv4 datagrams and receives raw TCP and ICMP traffic without
+// involving the kernel's TCP state machine.
+//
+// Requirements, exactly as the paper's tool had: CAP_NET_RAW (or root), a
+// network vantage point, and firewall rules that keep the kernel from
+// answering the prober's connections with RSTs (e.g. an iptables rule
+// dropping outbound RST from the probe port range). None of this exists in
+// the offline build/test environment, so this package is exercised only
+// for compilation and graceful failure; all experiments run on simnet.
+//
+// Frame IDs are synthesized locally (send and receive counters) so that
+// ground-truth-keyed code paths behave; there is of course no in-network
+// capture to compare against on a live path.
+package livewire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"syscall"
+	"time"
+
+	"reorder/internal/sim"
+)
+
+// Conn is a raw-socket transport bound to a local IPv4 address.
+type Conn struct {
+	sendFD   int
+	recvTCP  int
+	recvICMP int
+	local    netip.Addr
+	start    time.Time
+	nextID   uint64
+}
+
+// Dial opens the raw sockets. It fails with a permission error unless the
+// process holds CAP_NET_RAW.
+func Dial(local netip.Addr) (*Conn, error) {
+	if !local.Is4() {
+		return nil, errors.New("livewire: IPv4 local address required")
+	}
+	send, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_RAW)
+	if err != nil {
+		return nil, fmt.Errorf("livewire: send socket: %w", err)
+	}
+	// IPPROTO_RAW implies IP_HDRINCL: we provide complete datagrams.
+	recvTCP, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_TCP)
+	if err != nil {
+		syscall.Close(send)
+		return nil, fmt.Errorf("livewire: tcp receive socket: %w", err)
+	}
+	recvICMP, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_RAW, syscall.IPPROTO_ICMP)
+	if err != nil {
+		syscall.Close(send)
+		syscall.Close(recvTCP)
+		return nil, fmt.Errorf("livewire: icmp receive socket: %w", err)
+	}
+	return &Conn{
+		sendFD: send, recvTCP: recvTCP, recvICMP: recvICMP,
+		local: local, start: time.Now(),
+	}, nil
+}
+
+// Close releases the sockets.
+func (c *Conn) Close() error {
+	var first error
+	for _, fd := range []int{c.sendFD, c.recvTCP, c.recvICMP} {
+		if err := syscall.Close(fd); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LocalAddr implements core.Transport.
+func (c *Conn) LocalAddr() netip.Addr { return c.local }
+
+// Send implements core.Transport: data must be a complete IPv4 datagram.
+func (c *Conn) Send(data []byte) uint64 {
+	if len(data) < 20 {
+		return 0
+	}
+	var sa syscall.SockaddrInet4
+	copy(sa.Addr[:], data[16:20])
+	if err := syscall.Sendto(c.sendFD, data, 0, &sa); err != nil {
+		return 0
+	}
+	c.nextID++
+	return c.nextID
+}
+
+// Recv implements core.Transport: it polls both receive sockets until one
+// has a datagram or the timeout expires.
+func (c *Conn) Recv(timeout time.Duration) ([]byte, uint64, bool) {
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, 65536)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, 0, false
+		}
+		var fds syscall.FdSet
+		nfds := 0
+		for _, fd := range []int{c.recvTCP, c.recvICMP} {
+			fds.Bits[fd/64] |= 1 << (uint(fd) % 64)
+			if fd >= nfds {
+				nfds = fd + 1
+			}
+		}
+		tv := syscall.NsecToTimeval(remaining.Nanoseconds())
+		n, err := syscall.Select(nfds, &fds, nil, nil, &tv)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return nil, 0, false
+		}
+		if n == 0 {
+			return nil, 0, false // timeout
+		}
+		for _, fd := range []int{c.recvTCP, c.recvICMP} {
+			if fds.Bits[fd/64]&(1<<(uint(fd)%64)) == 0 {
+				continue
+			}
+			nr, _, err := syscall.Recvfrom(fd, buf, syscall.MSG_DONTWAIT)
+			if err != nil || nr <= 0 {
+				continue
+			}
+			data := make([]byte, nr)
+			copy(data, buf[:nr])
+			c.nextID++
+			return data, c.nextID, true
+		}
+	}
+}
+
+// Sleep implements core.Transport with a real sleep; on a live path gap
+// precision is limited by the host's timer resolution, a caveat the paper
+// shares.
+func (c *Conn) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Now implements core.Transport as nanoseconds since Dial.
+func (c *Conn) Now() sim.Time { return sim.Time(time.Since(c.start)) }

@@ -1,0 +1,40 @@
+//go:build linux
+
+package livewire
+
+import (
+	"net/netip"
+	"os"
+	"testing"
+
+	"reorder/internal/core"
+)
+
+// Conn must satisfy the measurement engine's Transport interface.
+var _ core.Transport = (*Conn)(nil)
+
+func TestDialRequiresIPv4(t *testing.T) {
+	if _, err := Dial(netip.MustParseAddr("::1")); err == nil {
+		t.Fatal("Dial accepted an IPv6 address")
+	}
+}
+
+func TestDialPrivileges(t *testing.T) {
+	c, err := Dial(netip.MustParseAddr("127.0.0.1"))
+	if err != nil {
+		// Expected without CAP_NET_RAW; the error must be descriptive.
+		t.Logf("Dial failed as expected without privileges: %v", err)
+		return
+	}
+	// Running privileged (e.g. in a root container): exercise the basics.
+	defer c.Close()
+	if c.LocalAddr() != netip.MustParseAddr("127.0.0.1") {
+		t.Error("LocalAddr mismatch")
+	}
+	if c.Now() < 0 {
+		t.Error("Now went backwards")
+	}
+	if os.Geteuid() != 0 {
+		t.Log("raw sockets available without euid 0 (CAP_NET_RAW)")
+	}
+}

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInOrderSequence(t *testing.T) {
+	rep := Analyze([]int{0, 1, 2, 3, 4})
+	if rep.Reordered != 0 || rep.Exchanges != 0 || rep.Ratio() != 0 {
+		t.Fatalf("in-order sequence: %+v", rep)
+	}
+	if rep.Sent != 5 || rep.Received != 5 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.MaxExtent() != 0 || len(rep.NReordering) != 0 {
+		t.Fatalf("extents on in-order: %+v", rep)
+	}
+}
+
+func TestSingleAdjacentExchange(t *testing.T) {
+	rep := Analyze([]int{0, 2, 1, 3})
+	if rep.Exchanges != 1 {
+		t.Fatalf("Exchanges = %d", rep.Exchanges)
+	}
+	if rep.Reordered != 1 {
+		t.Fatalf("Reordered = %d", rep.Reordered)
+	}
+	// Packet 1 arrived one position after packet 2: extent 1.
+	if rep.Extents[2] != 1 {
+		t.Fatalf("Extents = %v", rep.Extents)
+	}
+	if rep.NReordered(1) != 1 || rep.NReordered(2) != 0 {
+		t.Fatalf("NReordering = %v", rep.NReordering)
+	}
+}
+
+func TestDeepReordering(t *testing.T) {
+	// Packet 0 arrives last, after 4 later packets: extent 4.
+	rep := Analyze([]int{1, 2, 3, 4, 0})
+	if rep.Reordered != 1 {
+		t.Fatalf("Reordered = %d", rep.Reordered)
+	}
+	if rep.Extents[4] != 4 {
+		t.Fatalf("extent = %d, want 4", rep.Extents[4])
+	}
+	// n-reordered for n=1..4.
+	for n := 1; n <= 4; n++ {
+		if rep.NReordered(n) != 1 {
+			t.Fatalf("NReordered(%d) = %d", n, rep.NReordered(n))
+		}
+	}
+	if rep.NReordered(5) != 0 {
+		t.Fatal("NReordered beyond extent")
+	}
+	// At TCP's dupthresh 3, this event would trigger a spurious fast
+	// retransmit.
+	if rep.SpuriousFastRetransmits(3) != 1 {
+		t.Fatal("spurious fast retransmit not detected")
+	}
+}
+
+func TestAdjacentSwapNeverTriggersFastRetransmit(t *testing.T) {
+	// The paper's point about dupthresh: simple adjacent exchanges have
+	// extent 1 and never reach 3-reordering.
+	rep := Analyze([]int{1, 0, 3, 2, 5, 4, 7, 6})
+	if rep.Reordered != 4 {
+		t.Fatalf("Reordered = %d", rep.Reordered)
+	}
+	if rep.SpuriousFastRetransmits(3) != 0 {
+		t.Fatal("adjacent swaps misread as loss")
+	}
+}
+
+func TestExtentDefinition(t *testing.T) {
+	// Arrivals: 3, 1, 2, 0. Packet 0 arrives at index 3; the EARLIEST
+	// earlier arrival with larger send position is index 0 (pos 3), so
+	// extent = 3.
+	rep := Analyze([]int{3, 1, 2, 0})
+	if rep.Extents[3] != 3 {
+		t.Fatalf("extent = %d, want 3", rep.Extents[3])
+	}
+	// Packet 1 at index 1: earliest larger earlier arrival is index 0.
+	if rep.Extents[1] != 1 {
+		t.Fatalf("extent of pos 1 = %d, want 1", rep.Extents[1])
+	}
+	// Packet 2 at index 2: pos 3 arrived at index 0, extent 2.
+	if rep.Extents[2] != 2 {
+		t.Fatalf("extent of pos 2 = %d, want 2", rep.Extents[2])
+	}
+}
+
+func TestLossLeavesGaps(t *testing.T) {
+	// Position 2 lost: remaining arrivals in order are not reordered.
+	rep := Analyze([]int{0, 1, 3, 4})
+	if rep.Reordered != 0 {
+		t.Fatalf("loss misread as reordering: %+v", rep)
+	}
+	if rep.Sent != 5 {
+		t.Fatalf("Sent = %d, want 5 (position 4 proves 5 sent)", rep.Sent)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if rep := Analyze(nil); rep.Received != 0 || rep.Ratio() != 0 || rep.ExchangeRatio() != 0 {
+		t.Fatalf("empty: %+v", rep)
+	}
+	if rep := Analyze([]int{0}); rep.Reordered != 0 || rep.ExchangeRatio() != 0 {
+		t.Fatalf("singleton: %+v", rep)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	rep := Analyze([]int{1, 0, 2, 3})
+	if rep.Ratio() != 0.25 {
+		t.Fatalf("Ratio = %v", rep.Ratio())
+	}
+	if rep.ExchangeRatio() != 1.0/3 {
+		t.Fatalf("ExchangeRatio = %v", rep.ExchangeRatio())
+	}
+	if !strings.Contains(rep.String(), "reordered=1") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestFromSeqs(t *testing.T) {
+	rep, err := FromSeqs(1000, 100, []uint32{1000, 1200, 1100, 1300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reordered != 1 || rep.Exchanges != 1 {
+		t.Fatalf("%+v", rep)
+	}
+}
+
+func TestFromSeqsWraparound(t *testing.T) {
+	base := uint32(0xffffff38) // 200 bytes below wrap
+	rep, err := FromSeqs(base, 100, []uint32{base, base + 100, base + 200, base + 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reordered != 0 || rep.Sent != 4 {
+		t.Fatalf("wraparound: %+v", rep)
+	}
+}
+
+func TestFromSeqsRejectsMisaligned(t *testing.T) {
+	if _, err := FromSeqs(0, 100, []uint32{0, 150}); err == nil {
+		t.Fatal("misaligned seq accepted")
+	}
+	if _, err := FromSeqs(0, 0, nil); err == nil {
+		t.Fatal("zero segment size accepted")
+	}
+}
+
+// Property: a permutation's reordered count equals the number of positions
+// that are not left-to-right maxima minus in-order ones — concretely,
+// Analyze must agree with a brute-force running-max evaluation.
+func TestQuickReorderedMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%20) + 2
+		rng := rand.New(rand.NewPCG(seed, 1))
+		arr := rng.Perm(size)
+		rep := Analyze(arr)
+		want := 0
+		for i := range arr {
+			for j := 0; j < i; j++ {
+				if arr[j] > arr[i] {
+					want++
+					break
+				}
+			}
+		}
+		return rep.Reordered == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: n-reordering is nonincreasing in n (RFC 4737 §5.4).
+func TestQuickNReorderingMonotone(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%30) + 2
+		rng := rand.New(rand.NewPCG(seed, 2))
+		rep := Analyze(rng.Perm(size))
+		for i := 1; i < len(rep.NReordering); i++ {
+			if rep.NReordering[i] > rep.NReordering[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an in-order sequence with arbitrary gaps is never reordered.
+func TestQuickGapsNeverReorder(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		pos, arr := 0, []int{}
+		for i := 0; i < 30; i++ {
+			pos += 1 + rng.IntN(5)
+			arr = append(arr, pos)
+		}
+		rep := Analyze(arr)
+		return rep.Reordered == 0 && rep.Exchanges == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reversing a strictly increasing sequence reorders all but the
+// first-arriving (largest) element.
+func TestQuickFullReversal(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%30) + 2
+		arr := make([]int, size)
+		for i := range arr {
+			arr[i] = size - 1 - i
+		}
+		rep := Analyze(arr)
+		return rep.Reordered == size-1 && rep.MaxExtent() == size-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

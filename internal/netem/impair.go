@@ -1,0 +1,69 @@
+package netem
+
+import (
+	"time"
+
+	"reorder/internal/sim"
+)
+
+// Loss drops frames independently with a fixed probability.
+type Loss struct {
+	next  Node
+	rng   *sim.Rand
+	p     float64
+	stats Counters
+}
+
+// NewLoss returns a lossy element feeding next.
+func NewLoss(p float64, rng *sim.Rand, next Node) *Loss {
+	return &Loss{next: next, rng: rng, p: p}
+}
+
+// Stats returns a snapshot of the element's counters.
+func (l *Loss) Stats() Counters { return l.stats }
+
+// Input implements Node.
+func (l *Loss) Input(f *Frame) {
+	l.stats.In++
+	if l.rng.Bool(l.p) {
+		l.stats.Dropped++
+		return
+	}
+	l.stats.Out++
+	l.next.Input(f)
+}
+
+// Delay adds a fixed delay plus optional uniform jitter to every frame.
+// Because jitter is applied independently per frame, a Delay with nonzero
+// jitter can itself reorder closely spaced packets — which is sometimes the
+// point, and is why the controlled-validation topology uses jitter of zero.
+type Delay struct {
+	loop   *sim.Loop
+	next   Node
+	rng    *sim.Rand
+	base   time.Duration
+	jitter time.Duration
+	stats  Counters
+}
+
+// NewDelay returns a delay element feeding next. Each frame is delayed by
+// base plus a uniform draw in [0, jitter).
+func NewDelay(loop *sim.Loop, base, jitter time.Duration, rng *sim.Rand, next Node) *Delay {
+	return &Delay{loop: loop, next: next, rng: rng, base: base, jitter: jitter}
+}
+
+// Stats returns a snapshot of the element's counters.
+func (d *Delay) Stats() Counters { return d.stats }
+
+// Input implements Node.
+func (d *Delay) Input(f *Frame) {
+	d.stats.In++
+	delay := d.base
+	if d.jitter > 0 {
+		delay += time.Duration(d.rng.Float64() * float64(d.jitter))
+	}
+	d.loop.Schedule(delay, func() {
+		d.stats.Out++
+		d.next.Input(f)
+	})
+}

@@ -1,0 +1,71 @@
+package netem
+
+import (
+	"time"
+
+	"reorder/internal/sim"
+)
+
+// LinkConfig describes a point-to-point link.
+type LinkConfig struct {
+	// RateBps is the line rate in bits per second. Zero means infinitely
+	// fast (no serialization delay).
+	RateBps int64
+	// PropDelay is the one-way propagation delay.
+	PropDelay time.Duration
+	// QueueLimit is the droptail queue capacity in packets, counting the
+	// packet in transmission. Zero means unbounded.
+	QueueLimit int
+}
+
+// Link is a FIFO store-and-forward link: frames serialize at the line rate,
+// wait out the propagation delay, and arrive downstream in order. A link by
+// itself never reorders.
+type Link struct {
+	cfg   LinkConfig
+	loop  *sim.Loop
+	next  Node
+	stats Counters
+
+	busyUntil sim.Time // when the transmitter frees up
+	queued    int      // frames queued or in transmission
+}
+
+// NewLink returns a link feeding next.
+func NewLink(loop *sim.Loop, cfg LinkConfig, next Node) *Link {
+	return &Link{cfg: cfg, loop: loop, next: next}
+}
+
+// Stats returns a snapshot of the link's counters.
+func (l *Link) Stats() Counters { return l.stats }
+
+// TxTime returns the serialization delay of n bytes at the link rate.
+func (l *Link) TxTime(n int) time.Duration {
+	if l.cfg.RateBps <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n) * 8 * int64(time.Second) / l.cfg.RateBps)
+}
+
+// Input implements Node.
+func (l *Link) Input(f *Frame) {
+	l.stats.In++
+	if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
+		l.stats.Dropped++
+		return
+	}
+	now := l.loop.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	departure := start.Add(l.TxTime(f.Len()))
+	l.busyUntil = departure
+	l.queued++
+	arrival := departure.Add(l.cfg.PropDelay)
+	l.loop.At(departure, func() { l.queued-- })
+	l.loop.At(arrival, func() {
+		l.stats.Out++
+		l.next.Input(f)
+	})
+}

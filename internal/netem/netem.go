@@ -1,0 +1,79 @@
+// Package netem models the network between the probe host and the remote
+// hosts: links with serialization and propagation delay, droptail queues,
+// per-packet striping across parallel links (the physical reordering
+// mechanism §IV-C of the paper identifies), a dummynet-style adjacent-packet
+// swapper (the paper's controlled-validation apparatus), random loss and
+// jitter, and transparent per-flow load balancers.
+//
+// Frames flow through chains of Nodes on a shared discrete-event loop.
+// Every element is deterministic given its sim.Rand stream.
+package netem
+
+import (
+	"reorder/internal/sim"
+)
+
+// Frame is one IP datagram in flight, tagged with a network-unique ID so
+// traces can establish ground-truth ordering independent of packet contents.
+type Frame struct {
+	ID   uint64
+	Data []byte
+	Born sim.Time // when the frame entered the network
+}
+
+// Len returns the frame's wire length in bytes.
+func (f *Frame) Len() int { return len(f.Data) }
+
+// A Node accepts frames. Network elements implement Node and forward frames
+// (possibly delayed, reordered, or dropped) to a downstream Node.
+type Node interface {
+	Input(f *Frame)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(*Frame)
+
+// Input implements Node.
+func (fn NodeFunc) Input(f *Frame) { fn(f) }
+
+// Discard is a Node that drops everything, useful as a default sink.
+var Discard Node = NodeFunc(func(*Frame) {})
+
+// FrameIDs allocates network-unique frame IDs.
+type FrameIDs struct{ next uint64 }
+
+// Next returns a fresh nonzero frame ID.
+func (s *FrameIDs) Next() uint64 {
+	s.next++
+	return s.next
+}
+
+// Counters tracks what happened to frames at one element.
+type Counters struct {
+	In      uint64 // frames accepted
+	Out     uint64 // frames forwarded downstream
+	Dropped uint64 // frames discarded (queue overflow, loss)
+	Swapped uint64 // adjacent exchanges performed (Swapper, StripedTrunk)
+}
+
+// Tap is a pass-through Node that invokes a callback for every frame before
+// forwarding it, used by the trace package to capture ground truth at a
+// point in the topology.
+type Tap struct {
+	next Node
+	fn   func(*Frame, sim.Time)
+	loop *sim.Loop
+}
+
+// NewTap returns a tap that calls fn(frame, now) and forwards to next.
+func NewTap(loop *sim.Loop, next Node, fn func(*Frame, sim.Time)) *Tap {
+	return &Tap{next: next, fn: fn, loop: loop}
+}
+
+// Input implements Node.
+func (t *Tap) Input(f *Frame) {
+	if t.fn != nil {
+		t.fn(f, t.loop.Now())
+	}
+	t.next.Input(f)
+}

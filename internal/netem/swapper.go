@@ -1,0 +1,75 @@
+package netem
+
+import (
+	"time"
+
+	"reorder/internal/sim"
+)
+
+// Swapper reimplements the paper's modified dummynet traffic shaper (§IV-A):
+// with a configured probability it swaps a packet with the following one.
+// When a frame is selected, it is held back; the next frame to arrive is
+// forwarded first, then the held frame, producing exactly one adjacent
+// exchange. A held frame with no successor is flushed after FlushAfter so
+// lone packets are never stranded.
+type Swapper struct {
+	loop  *sim.Loop
+	next  Node
+	rng   *sim.Rand
+	prob  func(sim.Time) float64
+	flush time.Duration
+	stats Counters
+
+	held       *Frame
+	flushTimer *sim.Timer
+}
+
+// DefaultFlushAfter bounds how long a held packet waits for a successor.
+const DefaultFlushAfter = 50 * time.Millisecond
+
+// NewSwapper returns a swapper with fixed probability p feeding next.
+func NewSwapper(loop *sim.Loop, p float64, rng *sim.Rand, next Node) *Swapper {
+	return NewSwapperFunc(loop, func(sim.Time) float64 { return p }, rng, next)
+}
+
+// NewSwapperFunc returns a swapper whose probability varies with virtual
+// time, used to model paths whose reordering rate drifts (Fig 6).
+func NewSwapperFunc(loop *sim.Loop, prob func(sim.Time) float64, rng *sim.Rand, next Node) *Swapper {
+	return &Swapper{loop: loop, next: next, rng: rng, prob: prob, flush: DefaultFlushAfter}
+}
+
+// SetFlushAfter overrides the hold timeout.
+func (s *Swapper) SetFlushAfter(d time.Duration) { s.flush = d }
+
+// Stats returns a snapshot of the swapper's counters. Swapped counts
+// completed exchanges.
+func (s *Swapper) Stats() Counters { return s.stats }
+
+// Input implements Node.
+func (s *Swapper) Input(f *Frame) {
+	s.stats.In++
+	if s.held != nil {
+		// Forward the newcomer first, then the held frame: one adjacent swap.
+		s.flushTimer.Stop()
+		held := s.held
+		s.held = nil
+		s.stats.Out += 2
+		s.stats.Swapped++
+		s.next.Input(f)
+		s.next.Input(held)
+		return
+	}
+	if s.rng.Bool(s.prob(s.loop.Now())) {
+		s.held = f
+		s.flushTimer = s.loop.Schedule(s.flush, func() {
+			if s.held == f {
+				s.held = nil
+				s.stats.Out++
+				s.next.Input(f)
+			}
+		})
+		return
+	}
+	s.stats.Out++
+	s.next.Input(f)
+}

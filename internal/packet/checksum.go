@@ -1,0 +1,54 @@
+// Package packet implements the wire formats the measurement tools speak:
+// IPv4, TCP (including the options the tests rely on — MSS, SACK-permitted,
+// SACK blocks) and ICMP echo. Everything is encoded to and decoded from raw
+// bytes, with real Internet checksums, so the simulated network carries the
+// same octets a live probe would put on the wire.
+package packet
+
+import "encoding/binary"
+
+// Checksum computes the Internet checksum (RFC 1071) over data, folding the
+// 32-bit accumulator and returning the one's complement. An odd trailing
+// byte is padded with zero as the low octet of a final 16-bit word.
+func Checksum(data []byte) uint16 {
+	return finish(sum(data, 0))
+}
+
+// sum accumulates 16-bit big-endian words of data into acc without folding.
+func sum(data []byte, acc uint32) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if n%2 == 1 {
+		acc += uint32(data[n-1]) << 8
+	}
+	return acc
+}
+
+func finish(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + acc>>16
+	}
+	return ^uint16(acc)
+}
+
+// pseudoHeaderSum accumulates the TCP/UDP pseudo-header for src/dst IPv4
+// addresses, protocol and transport length.
+func pseudoHeaderSum(src, dst [4]byte, proto uint8, length int) uint32 {
+	var acc uint32
+	acc += uint32(binary.BigEndian.Uint16(src[0:2]))
+	acc += uint32(binary.BigEndian.Uint16(src[2:4]))
+	acc += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	acc += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	acc += uint32(proto)
+	acc += uint32(length)
+	return acc
+}
+
+// transportChecksum computes the TCP/UDP checksum of segment (header plus
+// payload, with the checksum field zeroed by the caller) carried between
+// src and dst.
+func transportChecksum(src, dst [4]byte, proto uint8, segment []byte) uint16 {
+	return finish(sum(segment, pseudoHeaderSum(src, dst, proto, len(segment))))
+}

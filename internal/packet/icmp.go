@@ -1,0 +1,62 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types used by the Bennett-style baseline test.
+const (
+	ICMPEchoReply   = 0
+	ICMPEchoRequest = 8
+)
+
+const icmpHeaderLen = 8
+
+// ICMPEcho is an ICMP echo request or reply.
+type ICMPEcho struct {
+	Type     uint8 // ICMPEchoRequest or ICMPEchoReply
+	Code     uint8
+	Checksum uint16 // filled on decode; computed on encode
+	Ident    uint16
+	Seq      uint16
+	Payload  []byte
+}
+
+// IsRequest reports whether the message is an echo request.
+func (e *ICMPEcho) IsRequest() bool { return e.Type == ICMPEchoRequest }
+
+// marshal returns the wire encoding with checksum.
+func (e *ICMPEcho) marshal() []byte {
+	b := make([]byte, icmpHeaderLen+len(e.Payload))
+	b[0] = e.Type
+	b[1] = e.Code
+	binary.BigEndian.PutUint16(b[4:6], e.Ident)
+	binary.BigEndian.PutUint16(b[6:8], e.Seq)
+	copy(b[icmpHeaderLen:], e.Payload)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// decodeICMP parses an ICMP echo message, verifying its checksum. Non-echo
+// ICMP types are rejected; the tools never emit or consume them.
+func decodeICMP(seg []byte) (*ICMPEcho, error) {
+	if len(seg) < icmpHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, need %d for ICMP header", ErrTruncated, len(seg), icmpHeaderLen)
+	}
+	if Checksum(seg) != 0 {
+		return nil, fmt.Errorf("%w: ICMP message", ErrBadChecksum)
+	}
+	e := &ICMPEcho{
+		Type:     seg[0],
+		Code:     seg[1],
+		Checksum: binary.BigEndian.Uint16(seg[2:4]),
+		Ident:    binary.BigEndian.Uint16(seg[4:6]),
+		Seq:      binary.BigEndian.Uint16(seg[6:8]),
+	}
+	if e.Type != ICMPEchoRequest && e.Type != ICMPEchoReply {
+		return nil, fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, e.Type)
+	}
+	e.Payload = append([]byte(nil), seg[icmpHeaderLen:]...)
+	return e, nil
+}

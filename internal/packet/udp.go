@@ -1,0 +1,68 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const udpHeaderLen = 8
+
+// UDPHeader is a parsed UDP header. The cooperative IPPM-style measurement
+// protocol (internal/ippm) runs over UDP, as the IETF active-measurement
+// drafts the paper cites do.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // filled on decode; computed on encode
+	Checksum         uint16 // filled on decode; computed on encode
+}
+
+// EncodeUDP builds a complete IPv4+UDP datagram. ip.Protocol is forced to
+// UDP; lengths and checksums are computed.
+func EncodeUDP(ip *IPv4Header, udp *UDPHeader, payload []byte) ([]byte, error) {
+	segLen := udpHeaderLen + len(payload)
+	if segLen > 0xffff {
+		return nil, fmt.Errorf("%w: UDP length %d", ErrBadHeader, segLen)
+	}
+	total := ipv4HeaderLen + segLen
+	buf := make([]byte, total)
+	ip.Protocol = ProtoUDP
+	if err := ip.marshalInto(buf, total); err != nil {
+		return nil, err
+	}
+	seg := buf[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(seg[0:2], udp.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], udp.DstPort)
+	binary.BigEndian.PutUint16(seg[4:6], uint16(segLen))
+	copy(seg[udpHeaderLen:], payload)
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	csum := transportChecksum(src, dst, ProtoUDP, seg)
+	if csum == 0 {
+		csum = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	seg[6] = byte(csum >> 8)
+	seg[7] = byte(csum)
+	return buf, nil
+}
+
+// decodeUDP parses a UDP segment, verifying the checksum (zero means the
+// sender opted out, which we accept, as receivers must).
+func decodeUDP(src, dst [4]byte, seg []byte) (*UDPHeader, []byte, error) {
+	if len(seg) < udpHeaderLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes, need %d for UDP header", ErrTruncated, len(seg), udpHeaderLen)
+	}
+	h := &UDPHeader{
+		SrcPort:  binary.BigEndian.Uint16(seg[0:2]),
+		DstPort:  binary.BigEndian.Uint16(seg[2:4]),
+		Length:   binary.BigEndian.Uint16(seg[4:6]),
+		Checksum: binary.BigEndian.Uint16(seg[6:8]),
+	}
+	if int(h.Length) < udpHeaderLen || int(h.Length) > len(seg) {
+		return nil, nil, fmt.Errorf("%w: UDP length %d of %d", ErrBadHeader, h.Length, len(seg))
+	}
+	if h.Checksum != 0 {
+		if transportChecksum(src, dst, ProtoUDP, seg[:h.Length]) != 0 {
+			return nil, nil, fmt.Errorf("%w: UDP segment", ErrBadChecksum)
+		}
+	}
+	return h, seg[udpHeaderLen:h.Length], nil
+}

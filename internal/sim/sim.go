@@ -1,0 +1,203 @@
+// Package sim implements a deterministic discrete-event simulator used as
+// the time base for every experiment in this repository.
+//
+// The simulator models virtual time as nanoseconds since the start of a run.
+// Components schedule callbacks on a Loop; the Loop executes them in
+// timestamp order (ties broken by scheduling order), advancing the virtual
+// clock as it goes. Nothing in the simulator sleeps or consults the wall
+// clock, so a run that models 20 days of probing completes in milliseconds
+// and is exactly reproducible given the same seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds since the start
+// of the simulation. The zero Time is the moment the Loop was created.
+type Time int64
+
+// Add returns the Time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the elapsed duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time as an elapsed duration, e.g. "1.5ms".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// A Timer is a handle to a scheduled callback. It can be stopped before it
+// fires. The zero Timer is inert.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the callback
+// from firing. Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Loop is a discrete-event scheduler. It is not safe for concurrent use;
+// the entire simulation, including all network elements and the prober,
+// runs single-threaded on one Loop.
+type Loop struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	ran    uint64
+}
+
+// NewLoop returns a Loop with the clock at time zero and no pending events.
+func NewLoop() *Loop { return &Loop{} }
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Len returns the number of pending events (including stopped timers that
+// have not yet been drained).
+func (l *Loop) Len() int { return len(l.events) }
+
+// Processed returns the total number of callbacks executed so far.
+func (l *Loop) Processed() uint64 { return l.ran }
+
+// Schedule arranges for fn to run after delay d of virtual time. A negative
+// delay is treated as zero (the event runs at the current instant, after any
+// earlier-scheduled events at the same instant). It returns a Timer that can
+// cancel the callback.
+func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now.Add(d), fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. Times in the past
+// are clamped to the present.
+func (l *Loop) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < l.now {
+		t = l.now
+	}
+	ev := &event{at: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed. Cancelled events are
+// skipped without being counted.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		ev := heap.Pop(&l.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		l.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		l.ran++
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events up to and including virtual time t, then advances
+// the clock to exactly t. Events scheduled during execution are honored if
+// they fall within the horizon.
+func (l *Loop) RunUntil(t Time) {
+	for {
+		ev := l.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		l.Step()
+	}
+	if l.now < t {
+		l.now = t
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (l *Loop) RunFor(d time.Duration) { l.RunUntil(l.now.Add(d)) }
+
+// RunUntilIdle executes events until the queue is empty. It panics after
+// maxEvents callbacks as a guard against runaway feedback loops; pass 0 for
+// the default of 100 million.
+func (l *Loop) RunUntilIdle(maxEvents uint64) {
+	if maxEvents == 0 {
+		maxEvents = 100_000_000
+	}
+	start := l.ran
+	for l.Step() {
+		if l.ran-start > maxEvents {
+			panic(fmt.Sprintf("sim: RunUntilIdle exceeded %d events at t=%s", maxEvents, l.now))
+		}
+	}
+}
+
+// NextEventAt returns the timestamp of the earliest pending event, if any.
+// Synchronous drivers (the probe transport) use it to decide whether pumping
+// the loop can make progress before a deadline.
+func (l *Loop) NextEventAt() (Time, bool) {
+	ev := l.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+func (l *Loop) peek() *event {
+	for len(l.events) > 0 {
+		ev := l.events[0]
+		if ev.fn != nil {
+			return ev
+		}
+		heap.Pop(&l.events)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"net/netip"
+	"time"
+
+	"reorder/internal/netem"
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+)
+
+// Probe is the probe host's raw-packet interface, the simulated equivalent
+// of sting's packet-filter access to the wire. It satisfies the measurement
+// library's Transport interface: Send injects a raw datagram into the
+// forward path; Recv pumps the event loop until a packet arrives for the
+// probe or the timeout elapses in virtual time.
+type Probe struct {
+	net    *Net
+	addr   netip.Addr
+	egress netem.Node
+	inbox  []*netem.Frame
+	reasm  *packet.Reassembler
+}
+
+// deliver is the reverse path's terminal node. Fragmented datagrams are
+// reassembled here, the probe host's IP layer.
+func (p *Probe) deliver(f *netem.Frame) {
+	if p.net.endpoint != nil {
+		p.net.endpoint.Input(f)
+		return
+	}
+	if p.reasm == nil {
+		p.reasm = packet.NewReassembler()
+	}
+	whole, err := p.reasm.Input(f.Data)
+	if err != nil || whole == nil {
+		return // malformed, or waiting for more fragments
+	}
+	if len(whole) != len(f.Data) {
+		f = &netem.Frame{ID: f.ID, Data: whole, Born: f.Born}
+	}
+	p.inbox = append(p.inbox, f)
+}
+
+// LocalAddr returns the probe's address.
+func (p *Probe) LocalAddr() netip.Addr { return p.addr }
+
+// Send injects one raw IP datagram and returns its network frame ID, which
+// ground-truth captures key on.
+func (p *Probe) Send(data []byte) uint64 {
+	id := p.net.IDs.Next()
+	p.egress.Input(&netem.Frame{ID: id, Data: data, Born: p.net.Loop.Now()})
+	return id
+}
+
+// Recv returns the next packet addressed to the probe along with its frame
+// ID, driving the simulation forward up to timeout of virtual time. It
+// reports ok=false on timeout.
+func (p *Probe) Recv(timeout time.Duration) ([]byte, uint64, bool) {
+	loop := p.net.Loop
+	deadline := loop.Now().Add(timeout)
+	for len(p.inbox) == 0 {
+		at, ok := loop.NextEventAt()
+		if !ok || at > deadline {
+			loop.RunUntil(deadline)
+			break
+		}
+		loop.Step()
+	}
+	if len(p.inbox) == 0 {
+		return nil, 0, false
+	}
+	f := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	return f.Data, f.ID, true
+}
+
+// Sleep advances virtual time by d, processing any network activity due in
+// the interval. Received packets accumulate in the inbox.
+func (p *Probe) Sleep(d time.Duration) { p.net.Loop.RunFor(d) }
+
+// Now returns the current virtual time.
+func (p *Probe) Now() sim.Time { return p.net.Loop.Now() }
+
+// Flush discards any queued received packets (between tests).
+func (p *Probe) Flush() { p.inbox = nil }

@@ -1,0 +1,213 @@
+// Package simnet assembles complete measurement scenarios: a probe host
+// connected through configurable forward and reverse network paths to one
+// simulated server (or a load-balanced pool of them), with ground-truth
+// capture taps at the points the paper's controlled validation used
+// (§IV-A). It provides the synchronous probe transport the measurement
+// library (internal/core) drives.
+package simnet
+
+import (
+	"net/netip"
+	"time"
+
+	"reorder/internal/host"
+	"reorder/internal/netem"
+	"reorder/internal/sim"
+	"reorder/internal/trace"
+)
+
+// PathSpec describes the impairments of one direction of the path.
+type PathSpec struct {
+	// LinkRate is the access link rate in bits per second (default 10 Mbps).
+	LinkRate int64
+	// Delay is the one-way propagation delay (default 5 ms).
+	Delay time.Duration
+	// Jitter adds uniform random extra delay in [0, Jitter) per packet.
+	Jitter time.Duration
+	// Loss is the independent drop probability.
+	Loss float64
+	// SwapProb enables a dummynet-style adjacent-packet swapper.
+	SwapProb float64
+	// SwapProbFn, if set, overrides SwapProb with a time-varying rate.
+	SwapProbFn func(sim.Time) float64
+	// Trunk, if set, inserts a striped parallel trunk (gap-dependent
+	// reordering, Fig 7).
+	Trunk *netem.TrunkConfig
+	// MultiPath, if set, sprays packets per-packet across unequal paths
+	// (the "multi-path routing" reordering cause).
+	MultiPath *netem.MultiPathConfig
+	// ARQ, if set, inserts a lossy layer-2 link with retransmission (the
+	// "layer 2 retransmission" cause; wireless-style).
+	ARQ *netem.ARQConfig
+	// MTU, when nonzero, fragments oversized frames at the path entrance;
+	// fragments traverse (and may be reordered by) the rest of the path.
+	MTU int
+	// Priority, if set, inserts a DiffServ-style strict-priority
+	// scheduler (the remaining §V reordering cause; only flows with mixed
+	// TOS markings are affected).
+	Priority *netem.PriorityConfig
+}
+
+func (s PathSpec) defaults() PathSpec {
+	if s.LinkRate == 0 {
+		s.LinkRate = 10_000_000
+	}
+	if s.Delay == 0 {
+		s.Delay = 5 * time.Millisecond
+	}
+	return s
+}
+
+// Config describes a scenario.
+type Config struct {
+	// Seed makes the whole scenario deterministic.
+	Seed uint64
+	// Forward and Reverse are the path impairments in each direction.
+	Forward, Reverse PathSpec
+	// Server is the host profile. Ignored if Backends is non-empty.
+	Server host.Profile
+	// Backends, when non-empty, places a transparent load balancer in
+	// front of len(Backends) hosts that all answer as the server address.
+	Backends []host.Profile
+	// LBMode selects the balancing strategy (default HashFourTuple).
+	LBMode netem.BalanceMode
+}
+
+// Net is a wired-up scenario.
+type Net struct {
+	Loop *sim.Loop
+	IDs  *netem.FrameIDs
+
+	// Ground-truth captures, in the direction of travel:
+	// HostIngress sees forward-path packets as the server receives them;
+	// HostEgress sees reverse-path packets as the server sends them;
+	// ProbeIngress sees reverse-path packets as the probe receives them;
+	// ProbeEgress sees forward-path packets as the probe sends them.
+	ProbeEgress, HostIngress, HostEgress, ProbeIngress *trace.Capture
+
+	// Hosts are the servers behind the published address.
+	Hosts []*host.Host
+
+	// LB is the load balancer, if the scenario has one.
+	LB *netem.LoadBalancer
+
+	probe      *Probe
+	endpoint   netem.Node // event-driven replacement for the probe inbox
+	probeAddr  netip.Addr
+	serverAddr netip.Addr
+}
+
+// Default addressing: one probe, one published server address.
+var (
+	DefaultProbeAddr  = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	DefaultServerAddr = netip.AddrFrom4([4]byte{10, 0, 1, 1})
+)
+
+// New builds the scenario.
+func New(cfg Config) *Net {
+	loop := sim.NewLoop()
+	rng := sim.NewRand(cfg.Seed, 0x5eed)
+	n := &Net{
+		Loop:         loop,
+		IDs:          &netem.FrameIDs{},
+		ProbeEgress:  trace.NewCapture("probe-egress"),
+		HostIngress:  trace.NewCapture("host-ingress"),
+		HostEgress:   trace.NewCapture("host-egress"),
+		ProbeIngress: trace.NewCapture("probe-ingress"),
+		probeAddr:    DefaultProbeAddr,
+		serverAddr:   DefaultServerAddr,
+	}
+
+	n.probe = &Probe{net: n, addr: n.probeAddr}
+
+	// Reverse direction: host egress tap -> reverse path -> probe ingress
+	// tap -> probe inbox.
+	probeSink := netem.NodeFunc(func(f *netem.Frame) { n.probe.deliver(f) })
+	revEntry := buildPath(loop, rng.Fork(2), cfg.Reverse.defaults(), n.ProbeIngress.Tap(loop, probeSink))
+	hostOut := n.HostEgress.Tap(loop, revEntry)
+
+	// Servers.
+	var serverSide netem.Node
+	if len(cfg.Backends) > 0 {
+		backends := make([]netem.Node, len(cfg.Backends))
+		for i, p := range cfg.Backends {
+			h := host.New(loop, p, n.serverAddr, rng.Fork(uint64(100+i)), n.IDs, hostOut)
+			n.Hosts = append(n.Hosts, h)
+			backends[i] = h
+		}
+		n.LB = netem.NewLoadBalancer(cfg.LBMode, backends...)
+		serverSide = n.LB
+	} else {
+		h := host.New(loop, cfg.Server, n.serverAddr, rng.Fork(100), n.IDs, hostOut)
+		n.Hosts = append(n.Hosts, h)
+		serverSide = h
+	}
+
+	// Forward direction: probe egress tap -> forward path -> host ingress
+	// tap -> server side.
+	fwdEntry := buildPath(loop, rng.Fork(1), cfg.Forward.defaults(), n.HostIngress.Tap(loop, serverSide))
+	n.probe.egress = n.ProbeEgress.Tap(loop, fwdEntry)
+
+	return n
+}
+
+// buildPath composes a direction's elements ending at dst and returns the
+// entry node. Element order: access link (serialization + propagation),
+// jitter, loss, swapper, striped trunk.
+func buildPath(loop *sim.Loop, rng *sim.Rand, spec PathSpec, dst netem.Node) netem.Node {
+	node := dst
+	if spec.Trunk != nil {
+		node = netem.NewStripedTrunk(loop, *spec.Trunk, rng.Fork(4), node)
+	}
+	if spec.MultiPath != nil {
+		node = netem.NewMultiPath(loop, *spec.MultiPath, rng.Fork(6), node)
+	}
+	if spec.ARQ != nil {
+		node = netem.NewARQLink(loop, *spec.ARQ, rng.Fork(5), node)
+	}
+	if spec.Priority != nil {
+		node = netem.NewPriorityQueue(loop, *spec.Priority, node)
+	}
+	if spec.SwapProbFn != nil {
+		node = netem.NewSwapperFunc(loop, spec.SwapProbFn, rng.Fork(3), node)
+	} else if spec.SwapProb > 0 {
+		node = netem.NewSwapper(loop, spec.SwapProb, rng.Fork(3), node)
+	}
+	if spec.Loss > 0 {
+		node = netem.NewLoss(spec.Loss, rng.Fork(2), node)
+	}
+	if spec.Jitter > 0 {
+		node = netem.NewDelay(loop, 0, spec.Jitter, rng.Fork(1), node)
+	}
+	if spec.MTU > 0 {
+		node = netem.NewFragmenter(spec.MTU, node)
+	}
+	return netem.NewLink(loop, netem.LinkConfig{RateBps: spec.LinkRate, PropDelay: spec.Delay}, node)
+}
+
+// Probe returns the probe-side transport.
+func (n *Net) Probe() *Probe { return n.probe }
+
+// AttachEndpoint replaces the probe-side transport with an event-driven
+// endpoint (e.g. a TCP sender under test): frames arriving on the reverse
+// path are delivered to ingress instead of the probe inbox, and the
+// returned node is the forward-path entry the endpoint transmits into.
+// The probe transport must not be used afterwards.
+func (n *Net) AttachEndpoint(ingress netem.Node) netem.Node {
+	n.endpoint = ingress
+	return n.probe.egress
+}
+
+// ProbeAddr returns the probe host's address.
+func (n *Net) ProbeAddr() netip.Addr { return n.probeAddr }
+
+// ServerAddr returns the published server address.
+func (n *Net) ServerAddr() netip.Addr { return n.serverAddr }
+
+// ResetCaptures clears all four ground-truth captures.
+func (n *Net) ResetCaptures() {
+	n.ProbeEgress.Reset()
+	n.HostIngress.Reset()
+	n.HostEgress.Reset()
+	n.ProbeIngress.Reset()
+}

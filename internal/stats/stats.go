@@ -1,0 +1,191 @@
+// Package stats provides the statistical machinery the paper's evaluation
+// uses: summary statistics, empirical CDFs (Fig 5), the paired-difference
+// test from Jain's "The Art of Computer Systems Performance Analysis" used
+// in §IV-B to compare measurement techniques, and binomial confidence
+// intervals for reordering rates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Variance float64 // sample variance (n-1 denominator)
+	StdDev         float64
+	Min, Max       float64
+}
+
+// Summarize computes summary statistics. An empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.StdDev = math.Sqrt(s.Variance)
+	}
+	return s
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from the samples (copied and sorted).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// FractionAtMost returns the empirical P(X <= x).
+func (c *CDF) FractionAtMost(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// Advance past equal values: SearchFloat64s finds the first >= x.
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) by the nearest-rank method.
+func (c *CDF) Quantile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.sorted[rank]
+}
+
+// Points returns (x, P(X<=x)) pairs suitable for plotting the CDF as a step
+// function, one point per distinct sample value.
+func (c *CDF) Points() []Point {
+	var pts []Point
+	n := float64(len(c.sorted))
+	for i := 0; i < len(c.sorted); {
+		j := i
+		for j < len(c.sorted) && c.sorted[j] == c.sorted[i] {
+			j++
+		}
+		pts = append(pts, Point{X: c.sorted[i], Y: float64(j) / n})
+		i = j
+	}
+	return pts
+}
+
+// Point is one (x, y) plot coordinate.
+type Point struct{ X, Y float64 }
+
+// BinomialCI returns the Wilson score interval for a proportion at the
+// given z (e.g. 1.96 for 95%, 3.2905 for 99.9%).
+func BinomialCI(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	den := 1 + z2/n
+	center := (p + z2/(2*n)) / den
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / den
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// PairResult is the outcome of a paired-difference comparison of two
+// measurement techniques on the same path.
+type PairResult struct {
+	N          int     // number of pairs
+	MeanDiff   float64 // mean of (x_i - y_i)
+	StdErr     float64 // standard error of the mean difference
+	Confidence float64 // confidence level used, e.g. 0.999
+	Lo, Hi     float64 // confidence interval for the mean difference
+	// NullSupported is true when the interval contains zero: the
+	// difference between techniques is explicable by intra-test
+	// variability, i.e. the tests agree.
+	NullSupported bool
+}
+
+// String renders the result in one line.
+func (r PairResult) String() string {
+	verdict := "differ"
+	if r.NullSupported {
+		verdict = "agree"
+	}
+	return fmt.Sprintf("n=%d mean-diff=%+.5f CI[%.5f, %.5f] @%.1f%% -> %s",
+		r.N, r.MeanDiff, r.Lo, r.Hi, r.Confidence*100, verdict)
+}
+
+// PairDifference runs the paired-difference test (Jain §13.4.1) on equal-
+// length paired observations at the given confidence level (two-sided).
+// Degenerate inputs (fewer than 2 pairs) report the null as supported with
+// an infinite interval.
+func PairDifference(x, y []float64, confidence float64) PairResult {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	r := PairResult{N: n, Confidence: confidence}
+	if n < 2 {
+		r.Lo, r.Hi = math.Inf(-1), math.Inf(1)
+		r.NullSupported = true
+		return r
+	}
+	diffs := make([]float64, n)
+	for i := range diffs {
+		diffs[i] = x[i] - y[i]
+	}
+	s := Summarize(diffs)
+	r.MeanDiff = s.Mean
+	r.StdErr = s.StdDev / math.Sqrt(float64(n))
+	t := TCritical(n-1, confidence)
+	r.Lo = r.MeanDiff - t*r.StdErr
+	r.Hi = r.MeanDiff + t*r.StdErr
+	r.NullSupported = r.Lo <= 0 && 0 <= r.Hi
+	return r
+}

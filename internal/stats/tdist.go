@@ -1,0 +1,91 @@
+package stats
+
+import "math"
+
+// Two-sided critical values of Student's t distribution, indexed by degrees
+// of freedom 1..30, for the confidence levels the experiments use. Values
+// beyond 30 degrees of freedom fall back to the normal quantile, which is
+// accurate to better than 2% there.
+var tTable = map[float64][30]float64{
+	0.95: {
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	},
+	0.99: {
+		63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+		3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+		2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+	},
+	0.999: {
+		636.619, 31.599, 12.924, 8.610, 6.869, 5.959, 5.408, 5.041, 4.781, 4.587,
+		4.437, 4.318, 4.221, 4.140, 4.073, 4.015, 3.965, 3.922, 3.883, 3.850,
+		3.819, 3.792, 3.768, 3.745, 3.725, 3.707, 3.690, 3.674, 3.659, 3.646,
+	},
+}
+
+// normal z quantiles for the same levels (df -> infinity limits).
+var zTable = map[float64]float64{0.95: 1.960, 0.99: 2.576, 0.999: 3.291}
+
+// TCritical returns the two-sided critical t value for the given degrees of
+// freedom and confidence level. Supported levels are 0.95, 0.99 and 0.999;
+// other levels fall back to an inverse-normal approximation, which is what
+// large-sample tests use anyway.
+func TCritical(df int, confidence float64) float64 {
+	if df < 1 {
+		df = 1
+	}
+	if tab, ok := tTable[confidence]; ok {
+		if df <= 30 {
+			return tab[df-1]
+		}
+		z := zTable[confidence]
+		// Smooth interpolation between t(30) and z using the standard
+		// 1/df expansion: t ~= z + (z^3+z)/(4 df).
+		return z + (z*z*z+z)/(4*float64(df))
+	}
+	// Unsupported level: invert the normal CDF.
+	z := normQuantile(0.5 + confidence/2)
+	if df > 1 {
+		z += (z*z*z + z) / (4 * float64(df))
+	}
+	return z
+}
+
+// normQuantile computes the standard normal quantile via the
+// Beasley–Springer–Moro rational approximation.
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		num := y * (((a[3]*r+a[2])*r+a[1])*r + a[0])
+		den := (((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1
+		return num / den
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	r = math.Log(-math.Log(r))
+	x := c[0]
+	for i, pow := 1, r; i < 9; i, pow = i+1, pow*r {
+		x += c[i] * pow
+	}
+	if y < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,472 @@
+// Package tcpsender implements a client-side TCP bulk-data sender with
+// Reno-style congestion control — the protocol the paper's introduction is
+// about. Its fast-retransmit optimization "assumes that packet reordering
+// is sufficiently rare that any reordering event spanning more than a few
+// packets implies a loss"; when that assumption fails, reordering is
+// misread as congestion and throughput collapses. The sender also
+// implements an adaptive duplicate-ACK threshold in the spirit of the
+// proposals the paper cites ([3] Blanton & Allman; [20] DSACK-based
+// schemes), whose evaluation is exactly what the paper's measurement
+// techniques exist to enable.
+//
+// The sender is event-driven on a sim.Loop, speaks real packets through a
+// netem.Node, and is exercised against the same server stack the
+// measurement tools probe — so the reordering processes measured by
+// internal/core are the ones degrading it.
+package tcpsender
+
+import (
+	"net/netip"
+	"time"
+
+	"reorder/internal/netem"
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+)
+
+// Config tunes the sender.
+type Config struct {
+	// MSS is the segment size (default 1460).
+	MSS int
+	// Bytes is the amount of application data to transfer.
+	Bytes int
+	// DupThresh is the initial duplicate-ACK threshold for fast
+	// retransmit (default 3, the classic Reno value).
+	DupThresh int
+	// Adaptive enables the reordering-tolerant behaviour: when a fast
+	// retransmission is detected to have been spurious (the cumulative
+	// acknowledgment covering it arrives sooner after the retransmission
+	// than a network round trip allows), the threshold is raised by one,
+	// up to MaxDupThresh.
+	Adaptive bool
+	// MaxDupThresh caps the adaptive threshold (default 12).
+	MaxDupThresh int
+	// RTO is the initial retransmission timeout (default 1s; doubled on
+	// each back-to-back expiry).
+	RTO time.Duration
+	// InitialCwnd is the initial congestion window in segments
+	// (default 2).
+	InitialCwnd int
+	// Port is the destination port (default 80).
+	Port uint16
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.Bytes == 0 {
+		c.Bytes = 256 << 10
+	}
+	if c.DupThresh == 0 {
+		c.DupThresh = 3
+	}
+	if c.MaxDupThresh == 0 {
+		c.MaxDupThresh = 12
+	}
+	if c.RTO == 0 {
+		c.RTO = time.Second
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 2
+	}
+	if c.Port == 0 {
+		c.Port = 80
+	}
+	return c
+}
+
+// Stats summarizes a completed (or in-progress) transfer.
+type Stats struct {
+	BytesAcked int
+	Elapsed    time.Duration
+	// FastRetransmits counts dupthresh-triggered retransmissions;
+	// SpuriousFast of those were detected as reordering, not loss.
+	FastRetransmits int
+	SpuriousFast    int
+	// Timeouts counts RTO expirations.
+	Timeouts int
+	// FinalDupThresh is the threshold at the end (changes under Adaptive).
+	FinalDupThresh int
+	// CwndHalvings counts multiplicative decreases (fast retransmit and
+	// timeout), the throughput-relevant damage reordering inflicts.
+	CwndHalvings int
+}
+
+// Throughput returns the goodput in bits per second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.BytesAcked) * 8 / s.Elapsed.Seconds()
+}
+
+type state int
+
+const (
+	stateClosed state = iota
+	stateSynSent
+	stateEstablished
+	stateDone
+)
+
+// Sender is one bulk transfer in progress.
+type Sender struct {
+	cfg    Config
+	loop   *sim.Loop
+	local  netip.Addr
+	remote netip.Addr
+	lport  uint16
+	out    netem.Node
+	ids    *netem.FrameIDs
+	rng    *sim.Rand
+
+	st     state
+	iss    uint32
+	rcvNxt uint32
+	sndUna uint32
+	sndNxt uint32
+	end    uint32 // one past the last byte to send
+
+	cwnd      int // bytes
+	ssthresh  int
+	peerWnd   int
+	dupThresh int
+	dupAcks   int
+
+	inRecovery bool
+	recover    uint32 // NewReno recovery point
+
+	rtoTimer   *sim.Timer
+	rtoBackoff time.Duration
+
+	// Spurious-retransmit detection state.
+	minRTT       time.Duration
+	sendTimes    map[uint32]sim.Time // first-transmission time per segment seq
+	lastRexmitAt sim.Time
+	lastRexmit   uint32
+	rexmitLive   bool
+
+	started  sim.Time
+	finished sim.Time
+	stats    Stats
+	onDone   func()
+}
+
+// New builds a sender from local to remote:port, transmitting via out.
+func New(loop *sim.Loop, cfg Config, local, remote netip.Addr, ids *netem.FrameIDs, rng *sim.Rand, out netem.Node) *Sender {
+	cfg = cfg.Defaults()
+	return &Sender{
+		cfg: cfg, loop: loop, local: local, remote: remote,
+		lport: 41000, out: out, ids: ids, rng: rng,
+		dupThresh: cfg.DupThresh,
+		minRTT:    time.Hour, // until measured
+		sendTimes: make(map[uint32]sim.Time),
+	}
+}
+
+// OnDone registers a completion callback.
+func (s *Sender) OnDone(fn func()) { s.onDone = fn }
+
+// SetOutput sets the forward-path entry the sender transmits into. It
+// exists because simnet.AttachEndpoint needs the sender (as the reverse
+// path's terminal) before it can hand back the forward entry; call it
+// before Start.
+func (s *Sender) SetOutput(out netem.Node) { s.out = out }
+
+// Done reports whether the transfer completed.
+func (s *Sender) Done() bool { return s.st == stateDone }
+
+// Stats returns a snapshot; Elapsed covers handshake through the final ACK
+// (or the present, if unfinished).
+func (s *Sender) Stats() Stats {
+	st := s.stats
+	if s.st != stateClosed && packet.SeqGT(s.sndUna, s.iss) {
+		st.BytesAcked = int(s.sndUna - (s.iss + 1))
+	}
+	endAt := s.finished
+	if s.st != stateDone {
+		endAt = s.loop.Now()
+	}
+	st.Elapsed = endAt.Sub(s.started)
+	st.FinalDupThresh = s.dupThresh
+	return st
+}
+
+// Start opens the connection and begins transmitting.
+func (s *Sender) Start() {
+	if s.st != stateClosed {
+		return
+	}
+	s.iss = s.rng.Uint32()
+	s.sndUna = s.iss
+	s.sndNxt = s.iss + 1
+	s.end = s.iss + 1 + uint32(s.cfg.Bytes)
+	s.cwnd = s.cfg.InitialCwnd * s.cfg.MSS
+	s.ssthresh = 64 << 10
+	s.peerWnd = 65535
+	s.rtoBackoff = s.cfg.RTO
+	s.started = s.loop.Now()
+	s.st = stateSynSent
+	s.transmit(packet.FlagSYN, s.iss, 0, nil, []packet.TCPOption{packet.MSSOption(uint16(s.cfg.MSS))})
+	s.armRTO()
+}
+
+// Input implements netem.Node: packets from the network.
+func (s *Sender) Input(f *netem.Frame) {
+	p, err := packet.Decode(f.Data)
+	if err != nil || p.TCP == nil || p.IP.Dst != s.local || p.IP.Src != s.remote {
+		return
+	}
+	h := p.TCP
+	if h.SrcPort != s.cfg.Port || h.DstPort != s.lport {
+		return
+	}
+	switch s.st {
+	case stateSynSent:
+		if h.HasFlags(packet.FlagRST) {
+			// Connection refused: freeze as done with nothing transferred.
+			s.st = stateDone
+			s.finished = s.loop.Now()
+			s.stopRTO()
+			return
+		}
+		if h.HasFlags(packet.FlagSYN|packet.FlagACK) && h.Ack == s.iss+1 {
+			s.rcvNxt = h.Seq + 1
+			s.sndUna = s.iss + 1
+			s.st = stateEstablished
+			s.observeRTT(s.loop.Now().Sub(s.started))
+			s.transmit(packet.FlagACK, s.sndUna, s.rcvNxt, nil, nil)
+			s.trySend()
+		}
+	case stateEstablished:
+		if h.HasFlags(packet.FlagRST) {
+			s.st = stateDone // aborted; stats freeze where they are
+			s.finished = s.loop.Now()
+			s.stopRTO()
+			return
+		}
+		if h.HasFlags(packet.FlagACK) {
+			s.handleAck(h)
+		}
+	}
+}
+
+func (s *Sender) handleAck(h *packet.TCPHeader) {
+	s.peerWnd = int(h.Window)
+	switch {
+	case packet.SeqGT(h.Ack, s.sndUna) && packet.SeqLEQ(h.Ack, s.sndNxt):
+		s.newAck(h.Ack)
+	case h.Ack == s.sndUna && packet.SeqGT(s.sndNxt, s.sndUna):
+		s.duplicateAck()
+	}
+	s.trySend()
+	if s.sndUna == s.end && s.st == stateEstablished {
+		s.st = stateDone
+		s.finished = s.loop.Now()
+		s.stopRTO()
+		if s.onDone != nil {
+			s.onDone()
+		}
+	}
+}
+
+// newAck processes a cumulative advance.
+func (s *Sender) newAck(ack uint32) {
+	acked := int(ack - s.sndUna)
+
+	// RTT sample from a first-transmission segment (Karn's rule: skip
+	// anything retransmitted).
+	if t0, ok := s.sendTimes[s.sndUna]; ok {
+		if !s.rexmitLive || packet.SeqLT(s.sndUna, s.lastRexmit) {
+			s.observeRTT(s.loop.Now().Sub(t0))
+		}
+	}
+	for seq := range s.sendTimes {
+		if packet.SeqLT(seq, ack) {
+			delete(s.sendTimes, seq)
+		}
+	}
+
+	// Spurious fast-retransmit detection: the ACK covering the
+	// retransmitted segment arrived sooner after the retransmission than
+	// a round trip — the original, merely reordered, must have produced
+	// it (the detection heuristic of the adaptive schemes).
+	if s.rexmitLive && packet.SeqGT(ack, s.lastRexmit) {
+		if s.loop.Now().Sub(s.lastRexmitAt) < s.minRTT*9/10 {
+			s.stats.SpuriousFast++
+			if s.cfg.Adaptive && s.dupThresh < s.cfg.MaxDupThresh {
+				s.dupThresh++
+			}
+		}
+		s.rexmitLive = false
+	}
+
+	s.sndUna = ack
+	s.dupAcks = 0
+	s.rtoBackoff = s.cfg.RTO
+	if s.inRecovery {
+		if packet.SeqGEQ(ack, s.recover) {
+			// Full recovery: deflate to ssthresh.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+		} else {
+			// NewReno partial ACK: retransmit the next hole, stay in
+			// recovery.
+			s.retransmitOne()
+			return
+		}
+	} else {
+		// Normal growth: slow start below ssthresh, else congestion
+		// avoidance.
+		if s.cwnd < s.ssthresh {
+			s.cwnd += min(acked, s.cfg.MSS)
+		} else {
+			s.cwnd += max(1, s.cfg.MSS*s.cfg.MSS/s.cwnd)
+		}
+	}
+	if packet.SeqLT(s.sndUna, s.sndNxt) {
+		s.armRTO()
+	} else {
+		s.stopRTO()
+	}
+}
+
+// duplicateAck counts dupacks and triggers fast retransmit at the
+// threshold — the paper's central protocol mechanism.
+func (s *Sender) duplicateAck() {
+	s.dupAcks++
+	if s.inRecovery {
+		s.cwnd += s.cfg.MSS // inflation
+		return
+	}
+	if s.dupAcks < s.dupThresh {
+		return
+	}
+	// Fast retransmit + fast recovery.
+	s.stats.FastRetransmits++
+	s.stats.CwndHalvings++
+	flight := int(s.sndNxt - s.sndUna)
+	s.ssthresh = max(flight/2, 2*s.cfg.MSS)
+	s.cwnd = s.ssthresh + 3*s.cfg.MSS
+	s.inRecovery = true
+	s.recover = s.sndNxt
+	s.lastRexmit = s.sndUna
+	s.lastRexmitAt = s.loop.Now()
+	s.rexmitLive = true
+	s.retransmitOne()
+	s.armRTO()
+}
+
+// retransmitOne resends the segment at sndUna.
+func (s *Sender) retransmitOne() {
+	n := uint32(s.cfg.MSS)
+	if rem := s.end - s.sndUna; rem < n {
+		n = rem
+	}
+	if n == 0 {
+		return
+	}
+	s.sendData(s.sndUna, n)
+}
+
+// onRTO handles a retransmission timeout: collapse to slow start.
+func (s *Sender) onRTO() {
+	if s.st != stateEstablished || s.sndUna == s.end {
+		return
+	}
+	s.stats.Timeouts++
+	s.stats.CwndHalvings++
+	flight := int(s.sndNxt - s.sndUna)
+	s.ssthresh = max(flight/2, 2*s.cfg.MSS)
+	s.cwnd = s.cfg.MSS
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.rexmitLive = false
+	s.retransmitOne()
+	s.rtoBackoff *= 2
+	if s.rtoBackoff > time.Minute {
+		s.rtoBackoff = time.Minute
+	}
+	s.armRTO()
+}
+
+// trySend transmits new data permitted by the congestion and peer windows.
+func (s *Sender) trySend() {
+	if s.st != stateEstablished {
+		return
+	}
+	wnd := min(s.cwnd, s.peerWnd)
+	for packet.SeqLT(s.sndNxt, s.end) {
+		flight := int(s.sndNxt - s.sndUna)
+		if flight+s.cfg.MSS > wnd && flight > 0 {
+			break
+		}
+		n := uint32(s.cfg.MSS)
+		if rem := s.end - s.sndNxt; rem < n {
+			n = rem
+		}
+		s.sendTimes[s.sndNxt] = s.loop.Now()
+		s.sendData(s.sndNxt, n)
+		s.sndNxt += n
+	}
+	if packet.SeqLT(s.sndUna, s.sndNxt) && (s.rtoTimer == nil || !s.rtoTimer.Pending()) {
+		s.armRTO()
+	}
+}
+
+// sendData transmits payload bytes [seq, seq+n). Content avoids '\n' so
+// the receiving stack's request-triggered application stays dormant.
+func (s *Sender) sendData(seq, n uint32) {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = 'a' + byte((seq+uint32(i))%25)
+	}
+	s.transmit(packet.FlagACK|packet.FlagPSH, seq, s.rcvNxt, payload, nil)
+}
+
+func (s *Sender) transmit(flags uint8, seq, ack uint32, payload []byte, opts []packet.TCPOption) {
+	hdr := &packet.TCPHeader{
+		SrcPort: s.lport, DstPort: s.cfg.Port,
+		Seq: seq, Ack: ack, Flags: flags, Window: 65535, Options: opts,
+	}
+	ip := &packet.IPv4Header{Src: s.local, Dst: s.remote, ID: s.rng.Uint16(), Flags: packet.FlagDF}
+	raw, err := packet.EncodeTCP(ip, hdr, payload)
+	if err != nil {
+		panic("tcpsender: encode: " + err.Error())
+	}
+	s.out.Input(&netem.Frame{ID: s.ids.Next(), Data: raw, Born: s.loop.Now()})
+}
+
+func (s *Sender) observeRTT(rtt time.Duration) {
+	if rtt > 0 && rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+}
+
+func (s *Sender) armRTO() {
+	s.stopRTO()
+	s.rtoTimer = s.loop.Schedule(s.rtoBackoff, s.onRTO)
+}
+
+func (s *Sender) stopRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+		s.rtoTimer = nil
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,321 @@
+package tcpstack
+
+import (
+	"net/netip"
+
+	"reorder/internal/netem"
+	"reorder/internal/packet"
+)
+
+// handleEstablished processes a segment on an established connection: ACK
+// bookkeeping for the data server, then receive-side sequence processing
+// with the delayed-ACK and immediate-ACK rules the measurement techniques
+// exploit.
+func (s *Stack) handleEstablished(k packet.FlowKey, c *conn, p *packet.Packet) {
+	hdr := p.TCP
+
+	if hdr.HasFlags(packet.FlagACK) {
+		s.processAck(c, hdr)
+	}
+
+	switch {
+	case len(p.Payload) > 0:
+		s.processData(c, p)
+	case hdr.HasFlags(packet.FlagFIN):
+		// FIN with no data: ack it, send our FIN, and drop state. The
+		// prober treats FIN/ACK as connection teardown confirmation.
+		if hdr.Seq == c.rcvNxt {
+			c.rcvNxt++
+			s.stats.AcksSent++
+			s.transmit(c.peer, &packet.TCPHeader{
+				SrcPort: c.lport, DstPort: c.pport,
+				Seq: c.sndNxt, Ack: c.rcvNxt,
+				Flags: packet.FlagFIN | packet.FlagACK, Window: s.cfg.Window,
+			}, nil)
+			s.dropConn(k, c)
+		}
+	}
+	if hdr.HasFlags(packet.FlagFIN) && len(p.Payload) > 0 && hdr.Seq+uint32(len(p.Payload)) == c.rcvNxt {
+		// Data+FIN handled above through processData; acknowledge the FIN.
+		c.rcvNxt++
+		s.sendAck(c, false)
+	}
+}
+
+// processAck advances the send side and drives the data application.
+func (s *Stack) processAck(c *conn, hdr *packet.TCPHeader) {
+	c.peerWnd = uint32(hdr.Window)
+	if packet.SeqGT(hdr.Ack, c.sndUna) && packet.SeqLEQ(hdr.Ack, c.sndNxt) {
+		c.sndUna = hdr.Ack
+		if c.rtxTimer != nil {
+			c.rtxTimer.Stop()
+			c.rtxTimer = nil
+		}
+	}
+	if c.serving {
+		s.pump(c)
+	}
+}
+
+// processData implements receive-side sequence processing.
+func (s *Stack) processData(c *conn, p *packet.Packet) {
+	hdr := p.TCP
+	seq := hdr.Seq
+	end := seq + uint32(len(p.Payload))
+
+	switch {
+	case packet.SeqLEQ(end, c.rcvNxt):
+		// Entirely old data (e.g. the single connection test retransmitting
+		// its hole-maker after the hole was later filled): immediate
+		// duplicate ACK so the sender learns our state.
+		s.sendAck(c, true)
+
+	case packet.SeqGT(seq, c.rcvNxt):
+		// Out-of-order: queue it, update SACK state, and ACK immediately —
+		// the fast-retransmit support behaviour (§II-A) that both the
+		// single and dual connection tests rely on for prompt feedback.
+		s.insertOOO(c, seq, end)
+		s.sendAck(c, true)
+
+	default:
+		// In-order (seq <= rcvNxt < end): advance and merge the OOO queue.
+		c.rcvNxt = end
+		filled := s.mergeOOO(c)
+		for _, b := range p.Payload {
+			if b == '\n' {
+				c.reqNewline = true
+				break
+			}
+		}
+		s.appDeliver(c)
+		if filled {
+			// Filling a hole: ACK immediately (RFC 5681).
+			s.sendAck(c, true)
+			return
+		}
+		// Plain in-order data: delayed ACK algorithm.
+		c.delackCount++
+		if c.delackCount >= s.cfg.DelAckThreshold {
+			s.sendAck(c, false)
+			return
+		}
+		if c.delackTimer == nil || !c.delackTimer.Pending() {
+			c.delackTimer = s.loop.Schedule(s.cfg.DelAckTimeout, func() {
+				s.stats.DelayedAcks++
+				s.sendAck(c, false)
+			})
+		}
+	}
+}
+
+// insertOOO adds [seq,end) to the out-of-order queue, coalescing overlaps,
+// and refreshes the SACK block list with the newest block first (RFC 2018).
+func (s *Stack) insertOOO(c *conn, seq, end uint32) {
+	merged := oooSeg{seq: seq, end: end}
+	out := c.ooo[:0]
+	for _, g := range c.ooo {
+		if packet.SeqLT(merged.end, g.seq) || packet.SeqGT(merged.seq, g.end) {
+			out = append(out, g)
+			continue
+		}
+		merged.seq = packet.SeqMin(merged.seq, g.seq)
+		merged.end = packet.SeqMax(merged.end, g.end)
+	}
+	// Insert keeping the queue sorted by seq.
+	pos := len(out)
+	for i, g := range out {
+		if packet.SeqLT(merged.seq, g.seq) {
+			pos = i
+			break
+		}
+	}
+	out = append(out, oooSeg{})
+	copy(out[pos+1:], out[pos:])
+	out[pos] = merged
+	c.ooo = out
+
+	if c.sackOK {
+		nb := packet.SACKBlock{Left: merged.seq, Right: merged.end}
+		blocks := []packet.SACKBlock{nb}
+		for _, b := range c.sack {
+			if b.Left == nb.Left && b.Right == nb.Right {
+				continue
+			}
+			// Blocks merged into the new one disappear.
+			if packet.SeqGEQ(b.Left, nb.Left) && packet.SeqLEQ(b.Right, nb.Right) {
+				continue
+			}
+			blocks = append(blocks, b)
+			if len(blocks) == 4 {
+				break
+			}
+		}
+		c.sack = blocks
+	}
+}
+
+// mergeOOO consumes queued segments made contiguous by an advance of
+// rcvNxt. It reports whether the advance consumed at least one queued
+// segment (i.e. the arriving segment filled a hole).
+func (s *Stack) mergeOOO(c *conn) bool {
+	filled := false
+	for len(c.ooo) > 0 && packet.SeqLEQ(c.ooo[0].seq, c.rcvNxt) {
+		if packet.SeqGT(c.ooo[0].end, c.rcvNxt) {
+			c.rcvNxt = c.ooo[0].end
+		}
+		c.ooo = c.ooo[1:]
+		filled = true
+	}
+	if c.sackOK {
+		kept := c.sack[:0]
+		for _, b := range c.sack {
+			if packet.SeqGT(b.Right, c.rcvNxt) {
+				kept = append(kept, b)
+			}
+		}
+		c.sack = kept
+	}
+	return filled
+}
+
+// sendAck transmits a pure ACK reflecting the current receive state.
+// immediate marks ACKs forced by OOO data, hole fills, or duplicates; they
+// cancel any pending delayed ACK.
+func (s *Stack) sendAck(c *conn, immediate bool) {
+	if c.delackTimer != nil {
+		c.delackTimer.Stop()
+		c.delackTimer = nil
+	}
+	c.delackCount = 0
+	hdr := &packet.TCPHeader{
+		SrcPort: c.lport, DstPort: c.pport,
+		Seq: c.sndNxt, Ack: c.rcvNxt,
+		Flags: packet.FlagACK, Window: s.cfg.Window,
+	}
+	if c.sackOK && len(c.sack) > 0 {
+		n := len(c.sack)
+		if n > 3 {
+			n = 3
+		}
+		hdr.Options = []packet.TCPOption{
+			{Kind: packet.OptNOP}, {Kind: packet.OptNOP},
+			packet.SACKOption(c.sack[:n]),
+		}
+	}
+	s.stats.AcksSent++
+	if immediate {
+		s.stats.ImmediateAcks++
+	}
+	s.transmit(c.peer, hdr, nil)
+}
+
+// appDeliver hands newly in-order data to the application. The application
+// is a single-shot object server: a newline-terminated request line (think
+// "GET /\r\n") triggers transmission of ObjectSize bytes. Requiring the
+// newline matters: the single connection test deposits stray request bytes
+// on port 80 connections, and a real web server would likewise sit silent
+// until the request completes.
+func (s *Stack) appDeliver(c *conn) {
+	if c.appGotReq || !c.reqNewline || !s.ports[c.lport] {
+		return
+	}
+	c.appGotReq = true
+	c.serving = true
+	c.sendEnd = c.sndNxt + uint32(s.cfg.ObjectSize)
+	s.pump(c)
+}
+
+// pump transmits as much served data as the peer's window and MSS allow,
+// and arms the retransmission timer.
+func (s *Stack) pump(c *conn) {
+	if !c.serving {
+		return
+	}
+	if c.sndUna == c.sendEnd {
+		c.serving = false
+		if c.rtxTimer != nil {
+			c.rtxTimer.Stop()
+			c.rtxTimer = nil
+		}
+		return
+	}
+	mss := uint32(s.cfg.MSS)
+	if uint32(c.peerMSS) < mss {
+		mss = uint32(c.peerMSS)
+	}
+	if mss == 0 {
+		mss = 536
+	}
+	for packet.SeqLT(c.sndNxt, c.sendEnd) {
+		inFlight := c.sndNxt - c.sndUna
+		if c.peerWnd <= inFlight {
+			break
+		}
+		room := c.peerWnd - inFlight
+		n := mss
+		if room < n {
+			n = room
+		}
+		if rem := c.sendEnd - c.sndNxt; rem < n {
+			n = rem
+		}
+		if n == 0 {
+			break
+		}
+		s.sendData(c, c.sndNxt, n)
+		c.sndNxt += n
+	}
+	if c.rtxTimer == nil || !c.rtxTimer.Pending() {
+		c.rtxTimer = s.loop.Schedule(s.cfg.RTO, func() { s.retransmit(c) })
+	}
+}
+
+// retransmit resends one segment at sndUna (go-back-N restart).
+func (s *Stack) retransmit(c *conn) {
+	if !c.serving || c.sndUna == c.sendEnd {
+		return
+	}
+	mss := uint32(s.cfg.MSS)
+	if uint32(c.peerMSS) < mss {
+		mss = uint32(c.peerMSS)
+	}
+	n := c.sendEnd - c.sndUna
+	if n > mss {
+		n = mss
+	}
+	s.stats.Retransmits++
+	s.sendData(c, c.sndUna, n)
+	c.rtxTimer = s.loop.Schedule(s.cfg.RTO, func() { s.retransmit(c) })
+}
+
+// sendData transmits object bytes [seq, seq+n). Payload content is a
+// deterministic function of sequence position so traces can verify
+// integrity.
+func (s *Stack) sendData(c *conn, seq, n uint32) {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte((seq + uint32(i)) % 251)
+	}
+	s.stats.DataSegsSent++
+	s.transmit(c.peer, &packet.TCPHeader{
+		SrcPort: c.lport, DstPort: c.pport,
+		Seq: seq, Ack: c.rcvNxt,
+		Flags: packet.FlagACK | packet.FlagPSH, Window: s.cfg.Window,
+	}, payload)
+}
+
+// transmit encodes and emits one datagram, stamping the IPID.
+func (s *Stack) transmit(dst netip.Addr, hdr *packet.TCPHeader, payload []byte) {
+	ip := &packet.IPv4Header{
+		Src: s.addr, Dst: dst,
+		ID: s.gen.Next(dst),
+	}
+	if !s.cfg.DisablePMTUD {
+		ip.Flags = packet.FlagDF
+	}
+	raw, err := packet.EncodeTCP(ip, hdr, payload)
+	if err != nil {
+		panic("tcpstack: encode: " + err.Error())
+	}
+	s.out.Input(&netem.Frame{ID: s.ids.Next(), Data: raw, Born: s.loop.Now()})
+}

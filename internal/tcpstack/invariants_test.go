@@ -1,0 +1,107 @@
+package tcpstack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+)
+
+// White-box property tests of the receive-side reassembly state: whatever
+// segment soup arrives, the out-of-order queue must remain sorted and
+// disjoint, rcvNxt must never regress, and queued data must always lie
+// strictly above rcvNxt. These invariants are what make the SCT/DCT
+// acknowledgment patterns trustworthy.
+
+// oooInvariants checks the connection's queue structure.
+func oooInvariants(t *testing.T, c *conn) {
+	t.Helper()
+	for i, g := range c.ooo {
+		if !packet.SeqLT(g.seq, g.end) {
+			t.Fatalf("ooo[%d] empty or inverted: [%d,%d)", i, g.seq, g.end)
+		}
+		if !packet.SeqGT(g.seq, c.rcvNxt) {
+			t.Fatalf("ooo[%d] [%d,%d) not above rcvNxt %d", i, g.seq, g.end, c.rcvNxt)
+		}
+		if i > 0 {
+			prev := c.ooo[i-1]
+			if !packet.SeqLT(prev.end, g.seq) {
+				t.Fatalf("ooo[%d-1,%d] overlap or disorder: [%d,%d) [%d,%d)",
+					i, i, prev.seq, prev.end, g.seq, g.end)
+			}
+		}
+	}
+	// SACK blocks must cover only data above rcvNxt.
+	for _, b := range c.sack {
+		if !packet.SeqGT(b.Right, c.rcvNxt) {
+			t.Fatalf("stale SACK block [%d,%d) at rcvNxt %d", b.Left, b.Right, c.rcvNxt)
+		}
+	}
+}
+
+func TestQuickReceiveInvariants(t *testing.T) {
+	f := func(seed uint64, issLow bool) bool {
+		h := newHarness(t, Config{SACK: true, DelAckThreshold: 2})
+		iss := uint32(1000)
+		if issLow {
+			iss = 0xfffffff0 // exercise wraparound
+		}
+		h.handshake(4000, iss)
+		k := packet.FlowKey{
+			Src: probeAddr, Dst: serverAddr, SrcPort: 4000, DstPort: 80,
+			Proto: packet.ProtoTCP,
+		}
+		c := h.stack.conns[k]
+		if c == nil {
+			t.Fatal("connection missing")
+		}
+		rng := sim.NewRand(seed, 99)
+		base := iss + 1
+		prevRcvNxt := c.rcvNxt
+		for i := 0; i < 120; i++ {
+			off := uint32(rng.IntN(64))
+			length := 1 + rng.IntN(12)
+			h.inject(&packet.TCPHeader{
+				SrcPort: 4000, DstPort: 80,
+				Seq: base + off, Flags: packet.FlagACK,
+			}, make([]byte, length))
+			h.drain()
+			oooInvariants(t, c)
+			if packet.SeqLT(c.rcvNxt, prevRcvNxt) {
+				t.Fatalf("rcvNxt regressed: %d -> %d", prevRcvNxt, c.rcvNxt)
+			}
+			prevRcvNxt = c.rcvNxt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEveryAckReflectsRcvNxt(t *testing.T) {
+	// Every pure ACK the stack emits must carry exactly rcvNxt at the time
+	// of transmission — the core assumption of the SCT classifier.
+	f := func(seed uint64) bool {
+		h := newHarness(t, Config{DelAckThreshold: 1}) // quickack: every segment acked
+		h.handshake(4000, 500)
+		k := packet.FlowKey{Src: probeAddr, Dst: serverAddr, SrcPort: 4000, DstPort: 80, Proto: packet.ProtoTCP}
+		c := h.stack.conns[k]
+		rng := sim.NewRand(seed, 5)
+		for i := 0; i < 60; i++ {
+			off := uint32(rng.IntN(20))
+			h.inject(&packet.TCPHeader{SrcPort: 4000, DstPort: 80, Seq: 501 + off, Flags: packet.FlagACK},
+				make([]byte, 1+rng.IntN(4)))
+			for _, p := range h.drain() {
+				if p.TCP.Ack != c.rcvNxt {
+					t.Fatalf("ack %d != rcvNxt %d", p.TCP.Ack, c.rcvNxt)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

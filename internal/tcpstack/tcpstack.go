@@ -1,0 +1,413 @@
+// Package tcpstack models the remote host's TCP implementation — the "de
+// facto measurement server" the paper's techniques turn any TCP service
+// into. It implements precisely the behaviours the tests leverage:
+//
+//   - the three-way handshake, including the configurable response to a
+//     second SYN on a half-open connection (SYN test, §III-D);
+//   - delayed acknowledgments with a segment threshold and timeout, the
+//     behaviour that complicates the single connection test (§III-B);
+//   - immediate duplicate ACKs for out-of-order segments and immediate ACKs
+//     when a segment fills a sequence hole (RFC 5681), which both the single
+//     and dual connection tests depend on;
+//   - SACK block generation for out-of-order data;
+//   - IPID stamping of every transmitted datagram via a pluggable policy
+//     (dual connection test, §III-C);
+//   - a minimal data-serving application (a stand-in web server) with
+//     peer-MSS/window-respecting transmission and go-back-N retransmission,
+//     used by the TCP data transfer test.
+//
+// The stack is event-driven on a sim.Loop and emits raw encoded datagrams to
+// a netem.Node, so everything it sends crosses the simulated network as real
+// octets.
+package tcpstack
+
+import (
+	"time"
+
+	"reorder/internal/ipid"
+	"reorder/internal/netem"
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+
+	"net/netip"
+)
+
+// SYNPolicy selects how the stack responds to a second SYN received in
+// SYN_RECV with a different sequence number (§III-D: "this portion of the
+// TCP specification is poorly understood").
+type SYNPolicy int
+
+const (
+	// SYNPolicyRST always answers the second SYN with a RST — the most
+	// common implementation behaviour the paper observed.
+	SYNPolicyRST SYNPolicy = iota
+	// SYNPolicySpec follows the specification: RST if the new sequence
+	// number is inside the allowable window, otherwise a pure ACK
+	// (challenge ACK) reflecting the original state.
+	SYNPolicySpec
+	// SYNPolicyDualRST sends two RSTs, a quirk of a few implementations.
+	SYNPolicyDualRST
+	// SYNPolicyIgnore silently drops the second SYN, leaving only the
+	// original SYN/ACK observable.
+	SYNPolicyIgnore
+)
+
+// String returns the policy name.
+func (p SYNPolicy) String() string {
+	switch p {
+	case SYNPolicyRST:
+		return "rst-always"
+	case SYNPolicySpec:
+		return "per-spec"
+	case SYNPolicyDualRST:
+		return "dual-rst"
+	case SYNPolicyIgnore:
+		return "ignore"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds the implementation knobs of a simulated stack. The zero
+// value, passed through Defaults, models a typical BSD-derived server.
+type Config struct {
+	// DelAckThreshold is the number of unacknowledged in-order segments
+	// that forces an ACK (commonly 2). 1 disables delayed ACKs.
+	DelAckThreshold int
+	// DelAckTimeout bounds how long an ACK may be delayed (spec max 500ms;
+	// common stacks use 100–200ms).
+	DelAckTimeout time.Duration
+	// SYNPolicy is the second-SYN response behaviour.
+	SYNPolicy SYNPolicy
+	// SACK enables SACK block generation on ACKs for out-of-order data.
+	SACK bool
+	// MSS caps the segment size this stack transmits.
+	MSS uint16
+	// Window is the receive window the stack advertises.
+	Window uint16
+	// RTO is the (fixed) retransmission timeout of the data server.
+	RTO time.Duration
+	// ObjectSize is the number of payload bytes the data-serving app sends
+	// when a request arrives on a listening port.
+	ObjectSize int
+	// SilentClosedPorts suppresses the RST normally sent in answer to
+	// segments addressed to non-listening ports (a firewalled host). The
+	// zero value — answer with RST, per RFC 793 — is what live hosts do
+	// and what the prober's cleanup relies on.
+	SilentClosedPorts bool
+	// DisablePMTUD clears the DF bit on transmitted packets, allowing
+	// routers to fragment them in flight (pre-PMTUD stacks). With path
+	// MTU discovery on — the default, and the reason Linux 2.4 emits
+	// zero IPIDs — oversized packets are dropped at small-MTU hops
+	// instead.
+	DisablePMTUD bool
+}
+
+// Defaults fills unset fields with typical values.
+func (c Config) Defaults() Config {
+	if c.DelAckThreshold == 0 {
+		c.DelAckThreshold = 2
+	}
+	if c.DelAckTimeout == 0 {
+		c.DelAckTimeout = 200 * time.Millisecond
+	}
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.Window == 0 {
+		c.Window = 65535
+	}
+	if c.RTO == 0 {
+		c.RTO = 1 * time.Second
+	}
+	if c.ObjectSize == 0 {
+		c.ObjectSize = 64 << 10
+	}
+	return c
+}
+
+// Stats counts externally observable stack actions, for tests and reports.
+type Stats struct {
+	SegsIn        uint64 // TCP segments processed
+	AcksSent      uint64 // pure ACKs transmitted
+	DelayedAcks   uint64 // ACKs sent by the delayed-ACK timer
+	ImmediateAcks uint64 // ACKs forced by OOO data or hole fills
+	SynAcksSent   uint64
+	RstsSent      uint64
+	DataSegsSent  uint64
+	Retransmits   uint64
+}
+
+type connState int
+
+const (
+	stateSynRecv connState = iota
+	stateEstablished
+)
+
+type oooSeg struct {
+	seq uint32
+	end uint32 // seq + len
+}
+
+type conn struct {
+	state  connState
+	peer   netip.Addr
+	pport  uint16 // peer port
+	lport  uint16 // local port
+	iss    uint32 // our initial send sequence
+	irs    uint32 // peer's initial sequence
+	rcvNxt uint32
+	sndNxt uint32
+	sndUna uint32
+
+	peerMSS uint16
+	peerWnd uint32
+	sackOK  bool
+	ooo     []oooSeg           // out-of-order segments, disjoint, sorted by seq
+	sack    []packet.SACKBlock // reportable blocks, most recent first
+
+	delackCount int
+	delackTimer *sim.Timer
+
+	// Data-serving application state.
+	serving    bool
+	sendEnd    uint32 // sequence number one past the last byte to serve
+	rtxTimer   *sim.Timer
+	appGotReq  bool
+	reqNewline bool // a '\n' arrived: the request line is complete
+}
+
+// Stack is one host's TCP implementation.
+type Stack struct {
+	loop  *sim.Loop
+	cfg   Config
+	addr  netip.Addr
+	gen   ipid.Generator
+	ids   *netem.FrameIDs
+	out   netem.Node
+	rng   *sim.Rand
+	conns map[packet.FlowKey]*conn
+	ports map[uint16]bool
+	stats Stats
+}
+
+// New returns a stack for addr that transmits via out, stamping IPIDs from
+// gen and frame IDs from ids.
+func New(loop *sim.Loop, cfg Config, addr netip.Addr, gen ipid.Generator, ids *netem.FrameIDs, rng *sim.Rand, out netem.Node) *Stack {
+	return &Stack{
+		loop: loop, cfg: cfg.Defaults(), addr: addr, gen: gen, ids: ids,
+		out: out, rng: rng,
+		conns: make(map[packet.FlowKey]*conn),
+		ports: make(map[uint16]bool),
+	}
+}
+
+// Listen opens a port; segments to it are served by the data application.
+func (s *Stack) Listen(port uint16) { s.ports[port] = true }
+
+// Addr returns the stack's address.
+func (s *Stack) Addr() netip.Addr { return s.addr }
+
+// Stats returns a snapshot of the stack's counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// Config returns the stack's effective configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Conns returns the number of live connections (tests and leak checks).
+func (s *Stack) Conns() int { return len(s.conns) }
+
+// Input implements netem.Node: the stack's ingress from the network.
+func (s *Stack) Input(f *netem.Frame) {
+	p, err := packet.Decode(f.Data)
+	if err != nil || p.TCP == nil || p.IP.Dst != s.addr {
+		return // not ours or corrupt; a real NIC/IP layer drops silently
+	}
+	s.stats.SegsIn++
+	s.handleSegment(p)
+}
+
+// key builds the connection key from the peer's perspective as received.
+func segKey(p *packet.Packet) packet.FlowKey { return p.Flow() }
+
+func (s *Stack) handleSegment(p *packet.Packet) {
+	k := segKey(p)
+	c, ok := s.conns[k]
+	hdr := p.TCP
+	switch {
+	case ok:
+		s.handleConn(k, c, p)
+	case hdr.HasFlags(packet.FlagSYN) && !hdr.HasFlags(packet.FlagACK):
+		if !s.ports[hdr.DstPort] {
+			s.maybeRSTClosed(p)
+			return
+		}
+		s.acceptSYN(k, p)
+	case hdr.HasFlags(packet.FlagRST):
+		// RST to no connection: ignore.
+	default:
+		// Segment for a connection we do not have: RST per RFC 793 so the
+		// prober's cleanup and stray packets resolve crisply.
+		s.maybeRSTClosed(p)
+	}
+}
+
+func (s *Stack) maybeRSTClosed(p *packet.Packet) {
+	if s.cfg.SilentClosedPorts {
+		return
+	}
+	hdr := p.TCP
+	if hdr.HasFlags(packet.FlagRST) {
+		return
+	}
+	rst := &packet.TCPHeader{
+		SrcPort: hdr.DstPort, DstPort: hdr.SrcPort,
+		Flags: packet.FlagRST | packet.FlagACK,
+		Ack:   hdr.Seq + segLen(p),
+	}
+	if hdr.HasFlags(packet.FlagACK) {
+		rst.Flags = packet.FlagRST
+		rst.Seq = hdr.Ack
+		rst.Ack = 0
+	}
+	s.stats.RstsSent++
+	s.transmit(p.IP.Src, rst, nil)
+}
+
+// segLen returns the sequence-space length of a segment (payload plus SYN
+// and FIN flags).
+func segLen(p *packet.Packet) uint32 {
+	n := uint32(len(p.Payload))
+	if p.TCP.HasFlags(packet.FlagSYN) {
+		n++
+	}
+	if p.TCP.HasFlags(packet.FlagFIN) {
+		n++
+	}
+	return n
+}
+
+func (s *Stack) acceptSYN(k packet.FlowKey, p *packet.Packet) {
+	hdr := p.TCP
+	c := &conn{
+		state: stateSynRecv,
+		peer:  p.IP.Src, pport: hdr.SrcPort, lport: hdr.DstPort,
+		iss:     s.rng.Uint32(),
+		irs:     hdr.Seq,
+		rcvNxt:  hdr.Seq + 1,
+		peerWnd: uint32(hdr.Window),
+		peerMSS: 1460,
+	}
+	if mss, ok := hdr.MSS(); ok {
+		c.peerMSS = mss
+	}
+	c.sackOK = s.cfg.SACK && hdr.SACKPermitted()
+	c.sndNxt = c.iss + 1
+	c.sndUna = c.iss
+	s.conns[k] = c
+	s.sendSynAck(c)
+}
+
+func (s *Stack) sendSynAck(c *conn) {
+	opts := []packet.TCPOption{packet.MSSOption(s.cfg.MSS)}
+	if s.cfg.SACK {
+		opts = append(opts, packet.SACKPermittedOption())
+	}
+	s.stats.SynAcksSent++
+	s.transmit(c.peer, &packet.TCPHeader{
+		SrcPort: c.lport, DstPort: c.pport,
+		Seq: c.iss, Ack: c.rcvNxt,
+		Flags: packet.FlagSYN | packet.FlagACK, Window: s.cfg.Window,
+		Options: opts,
+	}, nil)
+}
+
+func (s *Stack) handleConn(k packet.FlowKey, c *conn, p *packet.Packet) {
+	hdr := p.TCP
+	if hdr.HasFlags(packet.FlagRST) {
+		s.dropConn(k, c)
+		return
+	}
+	switch c.state {
+	case stateSynRecv:
+		s.handleSynRecv(k, c, p)
+	case stateEstablished:
+		s.handleEstablished(k, c, p)
+	}
+}
+
+func (s *Stack) handleSynRecv(k packet.FlowKey, c *conn, p *packet.Packet) {
+	hdr := p.TCP
+	if hdr.HasFlags(packet.FlagSYN) && !hdr.HasFlags(packet.FlagACK) {
+		s.secondSYN(k, c, p)
+		return
+	}
+	if hdr.HasFlags(packet.FlagACK) {
+		if hdr.Ack == c.iss+1 {
+			c.state = stateEstablished
+			c.sndUna = hdr.Ack
+			c.peerWnd = uint32(hdr.Window)
+			// Fall through to process any data riding the ACK.
+			if len(p.Payload) > 0 || hdr.HasFlags(packet.FlagFIN) {
+				s.handleEstablished(k, c, p)
+			}
+			return
+		}
+		// Unacceptable ACK in SYN_RECV: RST with seq = ack (RFC 793).
+		s.stats.RstsSent++
+		s.transmit(c.peer, &packet.TCPHeader{
+			SrcPort: c.lport, DstPort: c.pport, Seq: hdr.Ack, Flags: packet.FlagRST,
+		}, nil)
+		s.dropConn(k, c)
+	}
+}
+
+// secondSYN implements the §III-D behaviour matrix.
+func (s *Stack) secondSYN(k packet.FlowKey, c *conn, p *packet.Packet) {
+	hdr := p.TCP
+	if hdr.Seq == c.irs {
+		// Pure retransmission of the original SYN: re-answer SYN/ACK.
+		s.sendSynAck(c)
+		return
+	}
+	rst := func() {
+		s.stats.RstsSent++
+		s.transmit(c.peer, &packet.TCPHeader{
+			SrcPort: c.lport, DstPort: c.pport,
+			Seq: 0, Ack: hdr.Seq + 1, Flags: packet.FlagRST | packet.FlagACK,
+		}, nil)
+	}
+	challengeAck := func() {
+		s.stats.AcksSent++
+		s.transmit(c.peer, &packet.TCPHeader{
+			SrcPort: c.lport, DstPort: c.pport,
+			Seq: c.sndNxt, Ack: c.rcvNxt, Flags: packet.FlagACK, Window: s.cfg.Window,
+		}, nil)
+	}
+	switch s.cfg.SYNPolicy {
+	case SYNPolicyRST:
+		rst()
+	case SYNPolicySpec:
+		if packet.SeqInWindow(hdr.Seq, c.rcvNxt, uint32(s.cfg.Window)) {
+			rst()
+		} else {
+			challengeAck()
+		}
+	case SYNPolicyDualRST:
+		rst()
+		rst()
+	case SYNPolicyIgnore:
+		// Drop silently.
+	}
+}
+
+func (s *Stack) dropConn(k packet.FlowKey, c *conn) {
+	if c.delackTimer != nil {
+		c.delackTimer.Stop()
+	}
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+	}
+	delete(s.conns, k)
+}

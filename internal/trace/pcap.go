@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"reorder/internal/sim"
+)
+
+// Classic libpcap file format (the 2002-era format, naturally), little-
+// endian, with LINKTYPE_RAW so records are bare IPv4 datagrams.
+const (
+	pcapMagic    = 0xa1b2c3d4
+	pcapVerMajor = 2
+	pcapVerMinor = 4
+	linktypeRaw  = 101
+)
+
+// ErrBadPcap is returned for malformed pcap input.
+var ErrBadPcap = errors.New("trace: malformed pcap")
+
+// WritePcap writes the capture as a libpcap file with raw-IP link type.
+// Timestamps are virtual time split into seconds and microseconds.
+func (c *Capture) WritePcap(w io.Writer) error {
+	hdr := make([]byte, 24)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], pcapMagic)
+	le.PutUint16(hdr[4:], pcapVerMajor)
+	le.PutUint16(hdr[6:], pcapVerMinor)
+	// thiszone, sigfigs = 0
+	le.PutUint32(hdr[16:], 65535) // snaplen
+	le.PutUint32(hdr[20:], linktypeRaw)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	for _, r := range c.records {
+		us := r.At.Duration().Microseconds()
+		le.PutUint32(rec[0:], uint32(us/1_000_000))
+		le.PutUint32(rec[4:], uint32(us%1_000_000))
+		le.PutUint32(rec[8:], uint32(len(r.Data)))
+		le.PutUint32(rec[12:], uint32(len(r.Data)))
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPcap parses a libpcap file previously written by WritePcap (or any
+// little-endian classic pcap with raw-IP link type). Frame IDs are not
+// stored in pcap, so records come back with FrameID zero.
+func ReadPcap(r io.Reader) (*Capture, error) {
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadPcap, err)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != pcapMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrBadPcap, le.Uint32(hdr[0:]))
+	}
+	if lt := le.Uint32(hdr[20:]); lt != linktypeRaw {
+		return nil, fmt.Errorf("%w: link type %d, want %d", ErrBadPcap, lt, linktypeRaw)
+	}
+	c := NewCapture("pcap")
+	rec := make([]byte, 16)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF {
+				return c, nil
+			}
+			return nil, fmt.Errorf("%w: record header: %v", ErrBadPcap, err)
+		}
+		sec := le.Uint32(rec[0:])
+		usec := le.Uint32(rec[4:])
+		caplen := le.Uint32(rec[8:])
+		if caplen > 65535 {
+			return nil, fmt.Errorf("%w: caplen %d", ErrBadPcap, caplen)
+		}
+		data := make([]byte, caplen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("%w: truncated record: %v", ErrBadPcap, err)
+		}
+		at := sim.Time(int64(sec)*1_000_000_000 + int64(usec)*1_000)
+		idx := len(c.records)
+		c.records = append(c.records, Record{Index: idx, At: at, Data: data})
+	}
+}

@@ -1,0 +1,78 @@
+// Package trace captures packets at points in the simulated topology and
+// answers ground-truth ordering questions about them — the role tcpdump and
+// post-hoc trace analysis played in the paper's controlled validation
+// (§IV-A). It also reads and writes the classic libpcap file format so
+// captures can be inspected with standard tools.
+package trace
+
+import (
+	"reorder/internal/netem"
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+)
+
+// Record is one captured frame.
+type Record struct {
+	Index   int      // capture sequence number at this tap, from 0
+	At      sim.Time // capture timestamp
+	FrameID uint64   // network-unique frame ID
+	Data    []byte   // raw datagram bytes (not copied; frames are immutable in the simulator)
+}
+
+// Decode parses the captured bytes.
+func (r *Record) Decode() (*packet.Packet, error) { return packet.Decode(r.Data) }
+
+// Capture is an append-only log of frames seen at one tap point.
+type Capture struct {
+	Name    string
+	records []Record
+	byID    map[uint64]int // frame ID -> index of first appearance
+}
+
+// NewCapture returns an empty capture.
+func NewCapture(name string) *Capture {
+	return &Capture{Name: name, byID: make(map[uint64]int)}
+}
+
+// Tap returns a netem.Tap that records into c and forwards to next.
+func (c *Capture) Tap(loop *sim.Loop, next netem.Node) *netem.Tap {
+	return netem.NewTap(loop, next, func(f *netem.Frame, at sim.Time) {
+		idx := len(c.records)
+		c.records = append(c.records, Record{Index: idx, At: at, FrameID: f.ID, Data: f.Data})
+		if _, dup := c.byID[f.ID]; !dup {
+			c.byID[f.ID] = idx
+		}
+	})
+}
+
+// Len returns the number of captured frames.
+func (c *Capture) Len() int { return len(c.records) }
+
+// Records returns the capture in arrival order. The slice is shared; do not
+// mutate.
+func (c *Capture) Records() []Record { return c.records }
+
+// Position returns the arrival index of the frame with the given ID.
+func (c *Capture) Position(frameID uint64) (int, bool) {
+	i, ok := c.byID[frameID]
+	return i, ok
+}
+
+// Exchanged reports whether two frames arrived in the opposite of the given
+// order: sentFirst was sent before sentSecond, and Exchanged is true when
+// sentSecond arrived first. The ok result is false unless both frames were
+// captured.
+func (c *Capture) Exchanged(sentFirst, sentSecond uint64) (exchanged, ok bool) {
+	i, ok1 := c.byID[sentFirst]
+	j, ok2 := c.byID[sentSecond]
+	if !ok1 || !ok2 {
+		return false, false
+	}
+	return j < i, true
+}
+
+// Reset clears the capture.
+func (c *Capture) Reset() {
+	c.records = nil
+	c.byID = make(map[uint64]int)
+}

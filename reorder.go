@@ -1,0 +1,126 @@
+// Package reorder is the public facade of this repository: a library for
+// measuring one-way packet reordering to and from arbitrary TCP servers,
+// reproducing the techniques of Bellardo & Savage, "Measuring Packet
+// Reordering" (IMC 2002).
+//
+// The measurement engine lives in internal/core and is re-exported here;
+// the simulated network substrate (internal/simnet and friends) is
+// re-exported so downstream users can build scenarios without reaching
+// into internal packages. A typical session:
+//
+//	net := reorder.NewSimNet(reorder.SimConfig{
+//	    Seed:    1,
+//	    Server:  reorder.FreeBSD4(),
+//	    Forward: reorder.PathSpec{SwapProb: 0.05},
+//	})
+//	p := reorder.NewProber(net.Probe(), net.ServerAddr(), 2)
+//	res, err := p.SingleConnectionTest(reorder.SCTOptions{Samples: 15})
+//	...
+//	fmt.Printf("forward reordering: %.2f%%\n", res.Forward().Rate()*100)
+//
+// On a Linux host with raw-socket privileges and a network vantage point,
+// the same Prober runs over internal/livewire instead of the simulator.
+package reorder
+
+import (
+	"reorder/internal/core"
+	"reorder/internal/host"
+	"reorder/internal/netem"
+	"reorder/internal/simnet"
+)
+
+// Measurement engine (§III of the paper).
+type (
+	// Prober runs the four measurement techniques against one target.
+	Prober = core.Prober
+	// Transport is the raw-packet interface a Prober drives.
+	Transport = core.Transport
+	// Result is one measurement's outcome.
+	Result = core.Result
+	// Sample is one packet-pair classification.
+	Sample = core.Sample
+	// Verdict classifies one direction of one sample.
+	Verdict = core.Verdict
+	// DirCount aggregates verdicts for one direction.
+	DirCount = core.DirCount
+
+	// SCTOptions configures the single connection test.
+	SCTOptions = core.SCTOptions
+	// DCTOptions configures the dual connection test.
+	DCTOptions = core.DCTOptions
+	// SYNOptions configures the SYN test.
+	SYNOptions = core.SYNOptions
+	// TransferOptions configures the TCP data transfer test.
+	TransferOptions = core.TransferOptions
+	// IPIDCheckOptions configures standalone IPID prevalidation.
+	IPIDCheckOptions = core.IPIDCheckOptions
+	// BurstOptions configures the k-packet burst generalization of the
+	// dual connection test.
+	BurstOptions = core.BurstOptions
+	// BurstResult is a burst test's outcome; its aggregates are
+	// metrics.Report values with reordering extents and n-reordering.
+	BurstResult = core.BurstResult
+	// BurstSample is one train's outcome.
+	BurstSample = core.BurstSample
+	// GapSweepOptions configures Prober.GapSweep, the §IV-C time-domain
+	// distribution measurement.
+	GapSweepOptions = core.GapSweepOptions
+	// GapDistribution is a measured reordering-vs-spacing curve.
+	GapDistribution = core.GapDistribution
+	// GapRate is one spacing's measurement.
+	GapRate = core.GapRate
+)
+
+// Verdict values.
+const (
+	VerdictUnknown   = core.VerdictUnknown
+	VerdictInOrder   = core.VerdictInOrder
+	VerdictReordered = core.VerdictReordered
+	VerdictLost      = core.VerdictLost
+	VerdictAmbiguous = core.VerdictAmbiguous
+)
+
+// Errors.
+var (
+	ErrHandshake    = core.ErrHandshake
+	ErrIPIDUnusable = core.ErrIPIDUnusable
+	ErrNoData       = core.ErrNoData
+)
+
+// NewProber returns a prober for target over the given transport.
+var NewProber = core.NewProber
+
+// Simulated substrate.
+type (
+	// SimNet is a wired-up simulated scenario.
+	SimNet = simnet.Net
+	// SimConfig describes a scenario.
+	SimConfig = simnet.Config
+	// PathSpec describes one direction's impairments.
+	PathSpec = simnet.PathSpec
+	// TrunkConfig describes a striped parallel trunk (the paper's §IV-C
+	// reordering mechanism).
+	TrunkConfig = netem.TrunkConfig
+	// MultiPathConfig describes per-packet spraying over unequal paths.
+	MultiPathConfig = netem.MultiPathConfig
+	// ARQConfig describes a lossy layer-2 link with retransmission.
+	ARQConfig = netem.ARQConfig
+	// HostProfile describes a remote stack's implementation behaviour.
+	HostProfile = host.Profile
+)
+
+// NewSimNet builds a simulated scenario.
+func NewSimNet(cfg SimConfig) *SimNet { return simnet.New(cfg) }
+
+// Host profiles (the §IV-B population).
+var (
+	FreeBSD4     = host.FreeBSD4
+	Linux22      = host.Linux22
+	Linux24      = host.Linux24
+	OpenBSD3     = host.OpenBSD3
+	Solaris8     = host.Solaris8
+	Windows2000  = host.Windows2000
+	SpecStack    = host.SpecStack
+	DualRSTStack = host.DualRSTStack
+	HostCatalog  = host.Catalog
+)
