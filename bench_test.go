@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"reorder"
+	"reorder/internal/campaign"
 	"reorder/internal/core"
 	"reorder/internal/experiments"
 	"reorder/internal/host"
@@ -248,6 +249,73 @@ func BenchmarkProberThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := p.DualConnectionTest(reorder.DCTOptions{Samples: 10}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchCampaignTargets enumerates a fixed work list for the campaign
+// benchmarks: every profile and test over two impairments, 144 targets.
+func benchCampaignTargets(b *testing.B) []campaign.Target {
+	b.Helper()
+	targets, err := campaign.Enumerate(campaign.EnumSpec{
+		Impairments: []string{"clean", "swap-heavy"},
+		Seeds:       2,
+		BaseSeed:    11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return targets
+}
+
+// BenchmarkCampaignThroughput measures orchestrator speed end to end —
+// scheduling, probing, sharded aggregation and summary merge — as
+// targets per second of wall clock, the scaling figure the campaign
+// subsystem exists to improve.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	targets := benchCampaignTargets(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum *campaign.Summary
+	for i := 0; i < b.N; i++ {
+		var err error
+		sum, err = campaign.Run(campaign.Config{Targets: targets, Samples: 8, Workers: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+	b.ReportMetric(sum.FractionWithReordering(), "targets-reordering-frac")
+}
+
+// BenchmarkCampaignWorkers sweeps the pool size, exposing how far the
+// per-target hermetic design scales before contention or core count caps
+// it.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	targets := benchCampaignTargets(b)
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "workers-1", 4: "workers-4", 16: "workers-16"}[workers], func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Run(campaign.Config{Targets: targets, Samples: 8, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+		})
+	}
+}
+
+// BenchmarkCampaignProbe isolates one hermetic target probe — scenario
+// construction plus one measurement — the unit cost every campaign
+// scales from.
+func BenchmarkCampaignProbe(b *testing.B) {
+	tg := campaign.Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := campaign.ProbeTarget(tg, 8, 0); res.Err != "" {
+			b.Fatal(res.Err)
 		}
 	}
 }

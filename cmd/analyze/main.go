@@ -14,30 +14,39 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"reorder/internal/baseline"
+	"reorder/internal/cli"
 	"reorder/internal/trace"
 )
 
-func main() {
-	minSegs := flag.Int("min", 4, "minimum data segments for a flow to be reported")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: analyze [-min N] capture.pcap [...]")
-		os.Exit(2)
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	minSegs := fs.Int("min", 4, "minimum data segments for a flow to be reported")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
 	}
-	exit := 0
-	for _, path := range flag.Args() {
-		if err := analyzeFile(path, *minSegs); err != nil {
+	if fs.NArg() == 0 {
+		return cli.Usagef("usage: analyze [-min N] capture.pcap [...]")
+	}
+	var failed bool
+	for _, path := range fs.Args() {
+		if err := analyzeFile(stdout, path, *minSegs); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-			exit = 1
+			failed = true
 		}
 	}
-	os.Exit(exit)
+	if failed {
+		return cli.ErrReported
+	}
+	return nil
 }
 
-func analyzeFile(path string, minSegs int) error {
+func analyzeFile(stdout io.Writer, path string, minSegs int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -48,15 +57,15 @@ func analyzeFile(path string, minSegs int) error {
 		return err
 	}
 	flows := baseline.AnalyzeAllFlows(cap, minSegs)
-	fmt.Printf("%s: %d packets, %d data flows with >=%d segments\n", path, cap.Len(), len(flows), minSegs)
+	fmt.Fprintf(stdout, "%s: %d packets, %d data flows with >=%d segments\n", path, cap.Len(), len(flows), minSegs)
 	if len(flows) == 0 {
 		return nil
 	}
-	fmt.Printf("%-44s %6s %6s %6s %7s %7s %8s %8s\n",
+	fmt.Fprintf(stdout, "%-44s %6s %6s %6s %7s %7s %8s %8s\n",
 		"flow", "segs", "rexmt", "ooo", "rate", "exchg", "max-ext", "3-reord")
 	for _, fr := range flows {
 		m := fr.Metrics
-		fmt.Printf("%-44s %6d %6d %6d %7.4f %7d %8d %8d\n",
+		fmt.Fprintf(stdout, "%-44s %6d %6d %6d %7.4f %7d %8d %8d\n",
 			fr.Flow, fr.Paxson.DataPackets, fr.Paxson.Retransmissions, fr.Paxson.OutOfOrder,
 			fr.Paxson.Rate(), m.Exchanges, m.MaxExtent(), m.NReordered(3))
 	}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives a small end-to-end campaign through the CLI entry
+// point, including JSONL/CSV output and the deterministic summary.
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.jsonl")
+	csv := filepath.Join(dir, "out.csv")
+	args := []string{
+		"-quick", "-samples", "4", "-workers", "8",
+		"-profiles", "freebsd4,linux24",
+		"-impairments", "clean,swap-heavy",
+		"-out", out, "-csv", csv,
+	}
+
+	var a bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), "campaign:") || !strings.Contains(a.String(), "single") {
+		t.Fatalf("summary missing expected content:\n%s", a.String())
+	}
+	jsonl, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 profiles × 2 impairments × 2 tests (quick) × 2 seeds = 16 records.
+	if got := bytes.Count(jsonl, []byte("\n")); got != 16 {
+		t.Fatalf("JSONL has %d records, want 16", got)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatal(err)
+	}
+
+	// The summary on stdout must be byte-identical across runs.
+	var b bytes.Buffer
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("CLI summary not deterministic across runs")
+	}
+}
+
+// TestRunListTargets checks the enumeration listing path.
+func TestRunListTargets(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-list-targets", "-profiles", "freebsd4", "-impairments", "clean", "-tests", "syn", "-seeds", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("listed %d targets, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "freebsd4 clean syn ") {
+		t.Fatalf("bad target line: %s", lines[0])
+	}
+}
+
+// TestRunBadFlags checks argument validation surfaces as errors.
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-profiles", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if err := run([]string{"-targets", "/nonexistent/targets.txt"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing targets file accepted")
+	}
+}

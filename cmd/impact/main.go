@@ -8,17 +8,21 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
-	"os"
 
+	"reorder/internal/cli"
 	"reorder/internal/experiments"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "fewer intensities, smaller transfers")
-	csvPath := flag.String("csv", "", "also write the sweep as CSV to this path")
-	flag.Parse()
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("impact", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "fewer intensities, smaller transfers")
+	csvPath := fs.String("csv", "", "also write the sweep as CSV to this path")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultImpact()
 	if *quick {
@@ -26,26 +30,11 @@ func main() {
 	}
 	rep, err := experiments.RunImpact(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	rep.WriteText(os.Stdout)
+	rep.WriteText(stdout)
 	if *csvPath != "" {
-		if err := writeCSVFile(*csvPath, rep.WriteCSV); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		return cli.WriteCSVFile(*csvPath, rep.WriteCSV)
 	}
-}
-
-func writeCSVFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }

@@ -15,8 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"reorder/internal/cli"
 	"reorder/internal/core"
 	"reorder/internal/host"
 	"reorder/internal/netem"
@@ -24,28 +26,32 @@ import (
 	"reorder/internal/trace"
 )
 
-func main() {
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("reorder", flag.ContinueOnError)
 	var (
-		test     = flag.String("test", "single", "technique: single, dual, syn, transfer, ipid")
-		samples  = flag.Int("samples", 15, "samples per measurement")
-		gap      = flag.Duration("gap", 0, "inter-packet gap between sample pairs")
-		fwd      = flag.Float64("fwd", 0.05, "forward path swap probability")
-		rev      = flag.Float64("rev", 0.02, "reverse path swap probability")
-		loss     = flag.Float64("loss", 0, "loss probability on both paths")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		reversed = flag.Bool("reversed", true, "single connection test: reversed send order")
-		lb       = flag.Bool("lb", false, "place a load balancer with 4 backends in front of the server")
-		trunk    = flag.Bool("trunk", false, "route the forward path over a striped 2-link trunk")
-		profile  = flag.String("profile", "freebsd4", "server profile (freebsd4, linux22, linux24, openbsd3, solaris8, win2000, spec, dual-rst)")
-		verbose  = flag.Bool("v", false, "print each sample")
-		pcapPfx  = flag.String("pcap", "", "write ground-truth captures to <prefix>-{probe-egress,host-ingress,host-egress,probe-ingress}.pcap")
+		test     = fs.String("test", "single", "technique: single, dual, syn, transfer, ipid")
+		samples  = fs.Int("samples", 15, "samples per measurement")
+		gap      = fs.Duration("gap", 0, "inter-packet gap between sample pairs")
+		fwd      = fs.Float64("fwd", 0.05, "forward path swap probability")
+		rev      = fs.Float64("rev", 0.02, "reverse path swap probability")
+		loss     = fs.Float64("loss", 0, "loss probability on both paths")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		reversed = fs.Bool("reversed", true, "single connection test: reversed send order")
+		lb       = fs.Bool("lb", false, "place a load balancer with 4 backends in front of the server")
+		trunk    = fs.Bool("trunk", false, "route the forward path over a striped 2-link trunk")
+		profile  = fs.String("profile", "freebsd4", "server profile (freebsd4, linux22, linux24, openbsd3, solaris8, win2000, spec, dual-rst)")
+		verbose  = fs.Bool("v", false, "print each sample")
+		pcapPfx  = fs.String("pcap", "", "write ground-truth captures to <prefix>-{probe-egress,host-ingress,host-egress,probe-ingress}.pcap")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	prof, ok := profileByName(*profile)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
-		os.Exit(2)
+		return cli.Usagef("unknown profile %q", *profile)
 	}
 	cfg := simnet.Config{
 		Seed:    *seed,
@@ -76,43 +82,40 @@ func main() {
 	case "ipid":
 		rep, err := p.ValidateIPID(core.IPIDCheckOptions{Probes: 16})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("IPID prevalidation of %s (%s): usable=%v score=%.2f constant=%v samples=%d\n",
+		fmt.Fprintf(stdout, "IPID prevalidation of %s (%s): usable=%v score=%.2f constant=%v samples=%d\n",
 			n.ServerAddr(), n.Hosts[0].IPIDPolicy(), rep.Usable(), rep.Score, rep.Constant, rep.Samples)
-		return
+		return nil
 	default:
-		fmt.Fprintf(os.Stderr, "unknown test %q\n", *test)
-		os.Exit(2)
+		return cli.Usagef("unknown test %q", *test)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
 	if *verbose {
 		for i, s := range res.Samples {
-			fmt.Printf("sample %2d: forward=%-9s reverse=%-9s gap=%s rtt=%s\n", i, s.Forward, s.Reverse, s.Gap, s.RTT)
+			fmt.Fprintf(stdout, "sample %2d: forward=%-9s reverse=%-9s gap=%s rtt=%s\n", i, s.Forward, s.Reverse, s.Gap, s.RTT)
 		}
 	}
 	if *pcapPfx != "" {
-		if err := dumpCaptures(*pcapPfx, n); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := dumpCaptures(stdout, *pcapPfx, n); err != nil {
+			return err
 		}
 	}
 	f, r := res.Forward(), res.Reverse()
-	fmt.Printf("%s test against %s (%s profile)\n", res.Test, res.Target, prof.Name)
-	fmt.Printf("forward: %3d in-order, %3d reordered, %3d discarded -> rate %.4f\n",
+	fmt.Fprintf(stdout, "%s test against %s (%s profile)\n", res.Test, res.Target, prof.Name)
+	fmt.Fprintf(stdout, "forward: %3d in-order, %3d reordered, %3d discarded -> rate %.4f\n",
 		f.InOrder, f.Reordered, f.Discarded, f.Rate())
-	fmt.Printf("reverse: %3d in-order, %3d reordered, %3d discarded -> rate %.4f\n",
+	fmt.Fprintf(stdout, "reverse: %3d in-order, %3d reordered, %3d discarded -> rate %.4f\n",
 		r.InOrder, r.Reordered, r.Discarded, r.Rate())
-	fmt.Printf("mean RTT: %s, virtual time elapsed: %s\n", res.MeanRTT(), n.Loop.Now())
+	fmt.Fprintf(stdout, "mean RTT: %s, virtual time elapsed: %s\n", res.MeanRTT(), n.Loop.Now())
+	return nil
 }
 
 // dumpCaptures writes the four ground-truth captures as pcap files.
-func dumpCaptures(prefix string, n *simnet.Net) error {
+func dumpCaptures(stdout io.Writer, prefix string, n *simnet.Net) error {
 	caps := map[string]*trace.Capture{
 		"probe-egress":  n.ProbeEgress,
 		"host-ingress":  n.HostIngress,
@@ -132,7 +135,7 @@ func dumpCaptures(prefix string, n *simnet.Net) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d packets)\n", path, c.Len())
+		fmt.Fprintf(stdout, "wrote %s (%d packets)\n", path, c.Len())
 	}
 	return nil
 }

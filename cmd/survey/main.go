@@ -1,96 +1,90 @@
 // Command survey regenerates the §IV-B host-survey experiments: the Fig 5
 // CDF of per-path reordering rates with the IPID exclusion counts (E2/E6),
 // the E4 pairwise technique-agreement table, the Fig 6 time series on a
-// load-balanced path (E3), and the E7 prior-art baselines.
+// load-balanced path (E3), and the E7 prior-art baselines. Hosts are
+// surveyed concurrently by the campaign scheduler; for arbitrary target
+// populations beyond the paper's survey shape, see cmd/campaign.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
 
+	"reorder/internal/cli"
 	"reorder/internal/experiments"
 )
 
-func main() {
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("survey", flag.ContinueOnError)
 	var (
-		quick      = flag.Bool("quick", false, "reduced population and rounds")
-		timeseries = flag.Bool("timeseries", false, "also run the Fig 6 time series (E3)")
-		agreement  = flag.Bool("agreement", false, "also run the technique agreement analysis (E4)")
-		baselines  = flag.Bool("baselines", false, "also run the prior-art baselines (E7)")
-		coop       = flag.Bool("cooperative", false, "also validate against a cooperative IPPM session (E10)")
-		all        = flag.Bool("all", false, "run everything")
-		csvPath    = flag.String("csv", "", "also write the Fig 5 CDF as CSV to this path")
+		quick      = fs.Bool("quick", false, "reduced population and rounds")
+		workers    = fs.Int("workers", 0, "concurrent survey workers (0 = scheduler default)")
+		timeseries = fs.Bool("timeseries", false, "also run the Fig 6 time series (E3)")
+		agreement  = fs.Bool("agreement", false, "also run the technique agreement analysis (E4)")
+		baselines  = fs.Bool("baselines", false, "also run the prior-art baselines (E7)")
+		coop       = fs.Bool("cooperative", false, "also validate against a cooperative IPPM session (E10)")
+		all        = fs.Bool("all", false, "run everything")
+		csvPath    = fs.String("csv", "", "also write the Fig 5 CDF as CSV to this path")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultSurvey()
 	if *quick {
 		cfg = experiments.QuickSurvey()
 	}
+	cfg.Workers = *workers
 	survey := experiments.RunSurvey(cfg)
-	survey.WriteText(os.Stdout)
+	survey.WriteText(stdout)
 	if *csvPath != "" {
-		if err := writeCSVFile(*csvPath, survey.WriteCSV); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := cli.WriteCSVFile(*csvPath, survey.WriteCSV); err != nil {
+			return err
 		}
 	}
 
 	if *agreement || *all {
-		fmt.Println()
-		experiments.RunAgreement(survey, 0.999).WriteText(os.Stdout)
+		fmt.Fprintln(stdout)
+		experiments.RunAgreement(survey, 0.999).WriteText(stdout)
 	}
 	if *timeseries || *all {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		tcfg := experiments.DefaultTimeSeries()
 		if *quick {
 			tcfg = experiments.QuickTimeSeries()
 		}
 		rep, err := experiments.RunTimeSeries(tcfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		rep.WriteText(os.Stdout)
+		rep.WriteText(stdout)
 	}
 	if *baselines || *all {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		bcfg := experiments.DefaultBaselines()
 		if *quick {
 			bcfg = experiments.QuickBaselines()
 		}
 		rep, err := experiments.RunBaselines(bcfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		rep.WriteText(os.Stdout)
+		rep.WriteText(stdout)
 	}
 	if *coop || *all {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		ccfg := experiments.DefaultCooperative()
 		if *quick {
 			ccfg = experiments.QuickCooperative()
 		}
 		rep, err := experiments.RunCooperative(ccfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		rep.WriteText(os.Stdout)
+		rep.WriteText(stdout)
 	}
-}
-
-func writeCSVFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the quick survey through the CLI entry point.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"survey:", "Fig 5 CDF", "paths with some reordering"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunWorkerInvariance checks that surveying concurrently does not
+// change the report: the campaign scheduler's hermetic-host guarantee.
+func TestRunWorkerInvariance(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-quick", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-workers", "16"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("worker count changed the survey report")
+	}
+}
+
+// TestRunBadFlag checks flag errors surface instead of exiting.
+func TestRunBadFlag(t *testing.T) {
+	fsOut := &bytes.Buffer{}
+	if err := run([]string{"-definitely-not-a-flag"}, fsOut); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -8,22 +8,27 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 	"time"
 
+	"reorder/internal/cli"
 	"reorder/internal/experiments"
 )
 
-func main() {
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("timedist", flag.ContinueOnError)
 	var (
-		quick      = flag.Bool("quick", false, "sparse schedule, fewer samples per point")
-		samples    = flag.Int("samples", 0, "override samples per point (paper: 1000)")
-		plot       = flag.Bool("plot", true, "render an ASCII plot of the curve")
-		mechanisms = flag.Bool("mechanisms", false, "compare the gap signatures of trunk striping, multi-path routing and L2 ARQ (E8)")
-		csvPath    = flag.String("csv", "", "also write the curve(s) as CSV to this path")
+		quick      = fs.Bool("quick", false, "sparse schedule, fewer samples per point")
+		samples    = fs.Int("samples", 0, "override samples per point (paper: 1000)")
+		plot       = fs.Bool("plot", true, "render an ASCII plot of the curve")
+		mechanisms = fs.Bool("mechanisms", false, "compare the gap signatures of trunk striping, multi-path routing and L2 ARQ (E8)")
+		csvPath    = fs.String("csv", "", "also write the curve(s) as CSV to this path")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	if *mechanisms {
 		mcfg := experiments.DefaultMechanisms()
@@ -32,17 +37,13 @@ func main() {
 		}
 		rep, err := experiments.RunMechanisms(mcfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		rep.WriteText(os.Stdout)
+		rep.WriteText(stdout)
 		if *csvPath != "" {
-			if err := writeCSVFile(*csvPath, rep.WriteCSV); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+			return cli.WriteCSVFile(*csvPath, rep.WriteCSV)
 		}
-		return
+		return nil
 	}
 
 	cfg := experiments.DefaultGapSweep()
@@ -54,37 +55,24 @@ func main() {
 	}
 	rep, err := experiments.RunGapSweep(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	rep.WriteText(os.Stdout)
+	rep.WriteText(stdout)
 	if *csvPath != "" {
-		if err := writeCSVFile(*csvPath, rep.WriteCSV); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := cli.WriteCSVFile(*csvPath, rep.WriteCSV); err != nil {
+			return err
 		}
 	}
 	if *plot {
-		fmt.Println()
-		asciiPlot(rep)
+		fmt.Fprintln(stdout)
+		asciiPlot(stdout, rep)
 	}
-}
-
-func writeCSVFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // asciiPlot renders rate-vs-gap as rows of bars, downsampling to at most
 // 40 rows.
-func asciiPlot(rep *experiments.GapSweepReport) {
+func asciiPlot(w io.Writer, rep *experiments.GapSweepReport) {
 	pts := rep.Points
 	if len(pts) == 0 {
 		return
@@ -99,10 +87,10 @@ func asciiPlot(rep *experiments.GapSweepReport) {
 	if maxRate == 0 {
 		maxRate = 1
 	}
-	fmt.Println("gap        rate")
+	fmt.Fprintln(w, "gap        rate")
 	for i := 0; i < len(pts); i += step {
 		p := pts[i]
 		width := int(p.Rate / maxRate * 50)
-		fmt.Printf("%-9s %7.4f |%s\n", p.Gap.Round(time.Microsecond), p.Rate, strings.Repeat("#", width))
+		fmt.Fprintf(w, "%-9s %7.4f |%s\n", p.Gap.Round(time.Microsecond), p.Rate, strings.Repeat("#", width))
 	}
 }

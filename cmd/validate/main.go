@@ -7,18 +7,22 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
-	"os"
 
+	"reorder/internal/cli"
 	"reorder/internal/experiments"
 )
 
-func main() {
-	quick := flag.Bool("quick", false, "reduced grid for a fast smoke run")
-	samples := flag.Int("samples", 0, "override samples per run")
-	csvPath := flag.String("csv", "", "also write the per-run table as CSV to this path")
-	flag.Parse()
+func main() { cli.Main(run) }
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced grid for a fast smoke run")
+	samples := fs.Int("samples", 0, "override samples per run")
+	csvPath := fs.String("csv", "", "also write the per-run table as CSV to this path")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultValidation()
 	if *quick {
@@ -28,23 +32,9 @@ func main() {
 		cfg.Samples = *samples
 	}
 	rep := experiments.RunValidation(cfg)
-	rep.WriteText(os.Stdout)
+	rep.WriteText(stdout)
 	if *csvPath != "" {
-		if err := writeCSVFile(*csvPath, rep.WriteCSV); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		return cli.WriteCSVFile(*csvPath, rep.WriteCSV)
 	}
-}
-
-func writeCSVFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }

@@ -1,0 +1,3 @@
+module reorder
+
+go 1.22

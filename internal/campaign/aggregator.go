@@ -1,0 +1,245 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"reorder/internal/stats"
+)
+
+// Aggregator folds per-target results into campaign statistics without
+// cross-worker synchronization: each worker owns one shard exclusively and
+// adds to it lock-free; shards are merged once, at Summary time. The merge
+// sorts every pooled sample slice before reducing, so the summary is
+// bit-identical no matter how targets were interleaved across shards.
+type Aggregator struct {
+	shards []*Shard
+}
+
+// NewAggregator returns an aggregator with one shard per worker.
+func NewAggregator(workers int) *Aggregator {
+	if workers <= 0 {
+		workers = 1
+	}
+	a := &Aggregator{shards: make([]*Shard, workers)}
+	for i := range a.shards {
+		a.shards[i] = newShard()
+	}
+	return a
+}
+
+// Shard returns worker w's shard. Callers must ensure only one goroutine
+// uses a given shard; the campaign scheduler guarantees this by passing
+// each worker its own index.
+func (a *Aggregator) Shard(w int) *Shard { return a.shards[w%len(a.shards)] }
+
+// Shard accumulates results for one worker. Not safe for sharing.
+type Shard struct {
+	targets, errors, measured, excluded int
+	withReordering                      int
+	retried                             int
+	dctExcluded                         map[string]int
+	perTest                             map[string]*testShard
+
+	pathRates []float64
+	rtts      []float64
+}
+
+type testShard struct {
+	measured, errors, excluded, withReordering int
+	fwdRates, revRates                         []float64
+}
+
+func newShard() *Shard {
+	return &Shard{dctExcluded: map[string]int{}, perTest: map[string]*testShard{}}
+}
+
+// Add folds one result in. It is a pure function of the result's fields,
+// so results replayed from a checkpointed JSONL stream aggregate exactly
+// as live probes do.
+func (s *Shard) Add(r *TargetResult) {
+	s.targets++
+	if r.Attempts > 1 {
+		s.retried++
+	}
+	ts := s.perTest[r.Test]
+	if ts == nil {
+		ts = &testShard{}
+		s.perTest[r.Test] = ts
+	}
+	switch {
+	case r.Err != "":
+		s.errors++
+		ts.errors++
+		return
+	case r.DCTExcluded != "":
+		s.excluded++
+		ts.excluded++
+		s.dctExcluded[r.DCTExcluded]++
+		return
+	}
+	s.measured++
+	ts.measured++
+	if r.AnyReordering {
+		s.withReordering++
+		ts.withReordering++
+	}
+	if r.FwdValid > 0 {
+		ts.fwdRates = append(ts.fwdRates, r.FwdRate)
+	}
+	if r.RevValid > 0 {
+		ts.revRates = append(ts.revRates, r.RevRate)
+	}
+	if rate, ok := r.PathRate(); ok {
+		s.pathRates = append(s.pathRates, rate)
+	}
+	if r.RTTMicros > 0 {
+		s.rtts = append(s.rtts, float64(r.RTTMicros))
+	}
+}
+
+// Summary is the merged outcome of a campaign.
+type Summary struct {
+	// Targets is the number of results aggregated; Measured of them
+	// produced rates, Errors failed terminally, Excluded were ruled out
+	// by IPID prevalidation, Retried needed more than one attempt.
+	Targets, Measured, Errors, Excluded, Retried int
+
+	// WithReordering counts measured targets with at least one reordered
+	// sample (the §IV-B headline statistic).
+	WithReordering int
+
+	// DCTExcluded counts prevalidation exclusions by reason.
+	DCTExcluded map[string]int
+
+	// PathRates summarizes the pooled per-target reordering rates.
+	PathRates RateSummary
+	// RTTMicros summarizes mean per-target RTTs, in microseconds.
+	RTTMicros RateSummary
+
+	// Tests holds the per-technique breakdown, sorted by test name.
+	Tests []TestSummary
+}
+
+// TestSummary is one technique's slice of the campaign.
+type TestSummary struct {
+	Test                       string
+	Measured, Errors, Excluded int
+	WithReordering             int
+	Fwd, Rev                   RateSummary
+}
+
+// RateSummary reduces a pooled sample set: moments plus the quantiles a
+// Fig 5-style CDF reading would want.
+type RateSummary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+}
+
+// summarizeSorted reduces an already-sorted slice.
+func summarizeSorted(xs []float64) RateSummary {
+	if len(xs) == 0 {
+		return RateSummary{}
+	}
+	sm := stats.Summarize(xs)
+	cdf := stats.NewCDF(xs)
+	return RateSummary{
+		N: sm.N, Mean: sm.Mean, Min: sm.Min, Max: sm.Max,
+		P50: cdf.Quantile(0.50), P90: cdf.Quantile(0.90), P99: cdf.Quantile(0.99),
+	}
+}
+
+// FractionWithReordering is WithReordering over Measured.
+func (s *Summary) FractionWithReordering() float64 {
+	if s.Measured == 0 {
+		return 0
+	}
+	return float64(s.WithReordering) / float64(s.Measured)
+}
+
+// Summary merges all shards. Integer counts commute; sample pools are
+// concatenated and sorted before reduction so that float summation order —
+// and therefore every derived statistic — is independent of how the
+// scheduler happened to spread targets over workers.
+func (a *Aggregator) Summary() *Summary {
+	out := &Summary{DCTExcluded: map[string]int{}}
+	var pathRates, rtts []float64
+	tests := map[string]*TestSummary{}
+	var testPools = map[string]*struct{ fwd, rev []float64 }{}
+	for _, sh := range a.shards {
+		out.Targets += sh.targets
+		out.Measured += sh.measured
+		out.Errors += sh.errors
+		out.Excluded += sh.excluded
+		out.Retried += sh.retried
+		out.WithReordering += sh.withReordering
+		for k, v := range sh.dctExcluded {
+			out.DCTExcluded[k] += v
+		}
+		pathRates = append(pathRates, sh.pathRates...)
+		rtts = append(rtts, sh.rtts...)
+		for name, ts := range sh.perTest {
+			t := tests[name]
+			if t == nil {
+				t = &TestSummary{Test: name}
+				tests[name] = t
+				testPools[name] = &struct{ fwd, rev []float64 }{}
+			}
+			t.Measured += ts.measured
+			t.Errors += ts.errors
+			t.Excluded += ts.excluded
+			t.WithReordering += ts.withReordering
+			testPools[name].fwd = append(testPools[name].fwd, ts.fwdRates...)
+			testPools[name].rev = append(testPools[name].rev, ts.revRates...)
+		}
+	}
+	sort.Float64s(pathRates)
+	sort.Float64s(rtts)
+	out.PathRates = summarizeSorted(pathRates)
+	out.RTTMicros = summarizeSorted(rtts)
+	for name, t := range tests {
+		p := testPools[name]
+		sort.Float64s(p.fwd)
+		sort.Float64s(p.rev)
+		t.Fwd = summarizeSorted(p.fwd)
+		t.Rev = summarizeSorted(p.rev)
+		out.Tests = append(out.Tests, *t)
+	}
+	sort.Slice(out.Tests, func(i, j int) bool { return out.Tests[i].Test < out.Tests[j].Test })
+	return out
+}
+
+// WriteText renders the summary as the campaign CLI's report. The output
+// is a pure function of the aggregated results (no timing), so a fixed
+// seed reproduces it byte for byte.
+func (s *Summary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "campaign: %d targets, %d measured, %d excluded (ipid), %d errors, %d retried\n",
+		s.Targets, s.Measured, s.Excluded, s.Errors, s.Retried)
+	fmt.Fprintf(w, "targets with some reordering: %d (%.1f%% of measured)\n",
+		s.WithReordering, s.FractionWithReordering()*100)
+	if len(s.DCTExcluded) > 0 {
+		var reasons []string
+		for k := range s.DCTExcluded {
+			reasons = append(reasons, k)
+		}
+		sort.Strings(reasons)
+		fmt.Fprintf(w, "dct exclusions:")
+		for _, k := range reasons {
+			fmt.Fprintf(w, " %s=%d", k, s.DCTExcluded[k])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "path reordering rate: mean=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f (n=%d)\n",
+		s.PathRates.Mean, s.PathRates.P50, s.PathRates.P90, s.PathRates.P99, s.PathRates.Max, s.PathRates.N)
+	fmt.Fprintf(w, "rtt: mean=%.0fus p50=%.0fus p99=%.0fus\n",
+		s.RTTMicros.Mean, s.RTTMicros.P50, s.RTTMicros.P99)
+	fmt.Fprintf(w, "%-10s %8s %6s %6s %8s %10s %10s %10s %10s\n",
+		"test", "measured", "excl", "errs", "reorder", "fwd-mean", "fwd-p99", "rev-mean", "rev-p99")
+	for _, t := range s.Tests {
+		fmt.Fprintf(w, "%-10s %8d %6d %6d %8d %10.4f %10.4f %10.4f %10.4f\n",
+			t.Test, t.Measured, t.Excluded, t.Errors, t.WithReordering,
+			t.Fwd.Mean, t.Fwd.P99, t.Rev.Mean, t.Rev.P99)
+	}
+}

@@ -1,0 +1,270 @@
+// Package campaign orchestrates measurement campaigns: running the
+// internal/core techniques against thousands of targets concurrently, the
+// production-scale generalization of the paper's §IV-B survey (50 hosts,
+// 20 days, round-robin). It layers above the probing engine and below the
+// CLIs, mirroring the orchestration/engine split of tools like ooni/netem.
+//
+// The moving parts:
+//
+//   - Scheduler: a bounded worker pool with per-job retry/backoff and a
+//     token-bucket launch rate limiter. Jobs are dispatched in index order
+//     and their completions are re-sequenced so downstream consumers see
+//     results in index order regardless of which worker finished first —
+//     a reordering buffer for the reordering-measurement campaign.
+//   - Target: one unit of work — a host profile, a named path impairment,
+//     a measurement technique and a seed. Targets are enumerated as a
+//     cross product (profiles × impairments × tests × seeds) or loaded
+//     from a targets file.
+//   - Aggregator: per-worker shards merged lock-free (each worker owns its
+//     shard exclusively) and folded into a Summary with percentile rate
+//     statistics from internal/stats at the end of the run.
+//   - Sink: streaming consumers of per-target results — JSONL and CSV —
+//     fed strictly in target-index order, which makes campaign output
+//     byte-reproducible for a fixed seed and safe to resume.
+//   - Checkpoint: a small JSON file recording how many results have been
+//     durably emitted; an interrupted campaign resumes from it and
+//     produces output identical to an uninterrupted run.
+//
+// Every target probe is hermetic: it builds its own simulated scenario
+// from the target's seed, so results depend only on the target spec, never
+// on scheduling order or worker count.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Targets is the work list. See Enumerate and LoadTargets.
+	Targets []Target
+
+	// Samples is the per-measurement sample count (default 8).
+	Samples int
+
+	// Workers is the worker-pool size (default 16).
+	Workers int
+	// Retries is the number of additional attempts for a failed target.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt.
+	Backoff time.Duration
+	// RatePerSec caps probe launches per wall-clock second via a token
+	// bucket (0 = unlimited).
+	RatePerSec float64
+	// Burst is the token-bucket capacity (default Workers).
+	Burst int
+
+	// OutputPath, when set, streams per-target results as JSONL. It is
+	// also the replay source when resuming from a checkpoint.
+	OutputPath string
+	// CSVPath, when set, streams per-target results as CSV.
+	CSVPath string
+	// Sinks are additional streaming consumers (e.g. for tests).
+	Sinks []Sink
+
+	// CheckpointPath, when set, persists progress every CheckpointEvery
+	// emitted results (default 64) and at completion.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in emitted results.
+	CheckpointEvery int
+	// Resume continues an interrupted campaign from CheckpointPath,
+	// replaying the already-emitted prefix of OutputPath into the
+	// aggregator and probing only the remainder.
+	Resume bool
+
+	// StopAfter, when nonzero, stops cleanly after emitting that many
+	// results (checkpointing if configured), leaving the rest for a
+	// resumed run. Used to split huge campaigns across windows.
+	StopAfter int
+
+	// Progress, when set, is called after each in-order emit.
+	Progress func(done, total int)
+}
+
+func (c Config) defaults() Config {
+	if c.Samples == 0 {
+		c.Samples = 8
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	return c
+}
+
+// Run executes the campaign and returns the merged summary. The summary
+// and all sink output are deterministic functions of the target list and
+// sample count; worker count, rate limits and interruptions (with resume)
+// do not change a single byte.
+func Run(cfg Config) (*Summary, error) {
+	cfg = cfg.defaults()
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("campaign: no targets")
+	}
+	sched := NewScheduler(SchedulerConfig{
+		Workers:    cfg.Workers,
+		Retries:    cfg.Retries,
+		Backoff:    cfg.Backoff,
+		RatePerSec: cfg.RatePerSec,
+		Burst:      cfg.Burst,
+	})
+	agg := NewAggregator(sched.Workers())
+
+	fp := Fingerprint(cfg.Targets, cfg.Samples)
+	start := 0
+	var replayed []*TargetResult
+	if cfg.Resume && cfg.CheckpointPath == "" {
+		// Without this guard a forgotten -checkpoint would silently fall
+		// through to a fresh run and truncate the prior output.
+		return nil, fmt.Errorf("campaign: Resume requires CheckpointPath")
+	}
+	if cfg.Resume {
+		ck, err := LoadCheckpoint(cfg.CheckpointPath)
+		if err == nil {
+			if ck.Fingerprint != fp {
+				return nil, fmt.Errorf("campaign: checkpoint %s is for a different campaign (fingerprint %x != %x)",
+					cfg.CheckpointPath, ck.Fingerprint, fp)
+			}
+			replayed, err = replayOutput(cfg.OutputPath, ck.Done)
+			if err != nil {
+				return nil, err
+			}
+			start = ck.Done
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	// Replayed results re-enter the aggregator through shard 0; shard
+	// ownership only matters for live workers.
+	for _, r := range replayed {
+		agg.Shard(0).Add(r)
+	}
+
+	sinks, err := openSinks(cfg, replayed)
+	if err != nil {
+		return nil, err
+	}
+
+	end := len(cfg.Targets)
+	if cfg.StopAfter > 0 && start+cfg.StopAfter < end {
+		end = start + cfg.StopAfter
+	}
+
+	results := make([]*TargetResult, len(cfg.Targets))
+	ck := Checkpoint{Fingerprint: fp, Done: start}
+	emitted := start
+	err = sched.Run(start, end,
+		func(worker, index, attempt int) error {
+			res := ProbeTarget(cfg.Targets[index], cfg.Samples, attempt)
+			results[index] = res
+			if res.Err != "" && attempt < cfg.Retries {
+				return fmt.Errorf("campaign: target %d: %s", index, res.Err)
+			}
+			agg.Shard(worker).Add(res)
+			return nil
+		},
+		func(index int) error {
+			for _, s := range sinks {
+				if err := s.Emit(results[index]); err != nil {
+					return err
+				}
+			}
+			results[index] = nil // bound memory: emitted results are dropped
+			emitted++
+			if cfg.CheckpointPath != "" &&
+				(emitted%cfg.CheckpointEvery == 0 || emitted == end) {
+				// Flush first: a checkpoint must never acknowledge
+				// results still sitting in a sink buffer, or a crash
+				// here would leave the output behind the checkpoint
+				// and the campaign unresumable.
+				for _, s := range sinks {
+					if err := s.Flush(); err != nil {
+						return err
+					}
+				}
+				ck.Done = emitted
+				if err := ck.Save(cfg.CheckpointPath); err != nil {
+					return err
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(emitted, len(cfg.Targets))
+			}
+			return nil
+		})
+	// Close errors matter even on the success path: the final buffered
+	// results reach disk during Close, and a full disk must not yield a
+	// successful report over a truncated output file.
+	closeErr := closeAll(sinks)
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	return agg.Summary(), nil
+}
+
+// openSinks assembles the configured sinks. When resuming, the JSONL file
+// — already truncated to exactly the checkpointed records — is opened for
+// append, while the CSV file is rebuilt from the replayed prefix: CSV rows
+// are not safely line-countable, so rewriting is how its content is
+// guaranteed to equal an uninterrupted run's.
+func openSinks(cfg Config, replayed []*TargetResult) ([]Sink, error) {
+	var sinks []Sink
+	fail := func(err error) ([]Sink, error) {
+		closeAll(sinks)
+		return nil, err
+	}
+	resuming := len(replayed) > 0
+	if cfg.OutputPath != "" {
+		flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if resuming {
+			flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(cfg.OutputPath, flags, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		sinks = append(sinks, NewJSONLSink(f))
+	}
+	if cfg.CSVPath != "" {
+		f, err := os.OpenFile(cfg.CSVPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		cs := NewCSVSink(f)
+		for _, r := range replayed {
+			if err := cs.Emit(r); err != nil {
+				closeAll(append(sinks, cs))
+				return nil, err
+			}
+		}
+		sinks = append(sinks, cs)
+	}
+	sinks = append(sinks, cfg.Sinks...)
+	return sinks, nil
+}
+
+// closeAll closes every sink, returning the first error.
+func closeAll(sinks []Sink) error {
+	var first error
+	for _, s := range sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WriteTargets emits the target list in the LoadTargets file format.
+func WriteTargets(w io.Writer, targets []Target) error {
+	for _, t := range targets {
+		if _, err := fmt.Fprintf(w, "%s %s %s %d\n", t.Profile, t.Impairment, t.Test, t.Seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

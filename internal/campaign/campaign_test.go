@@ -1,0 +1,409 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// smallSpec is a cheap cross product used throughout the tests.
+func smallSpec() EnumSpec {
+	return EnumSpec{
+		Profiles:    []string{"freebsd4", "linux24", LBPool},
+		Impairments: []string{"clean", "swap-heavy"},
+		Tests:       []string{"single", "dual", "syn", "transfer"},
+		Seeds:       1,
+		BaseSeed:    42,
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 2 * 4; len(targets) != want {
+		t.Fatalf("enumerated %d targets, want %d", len(targets), want)
+	}
+	for i, tg := range targets {
+		if tg.Index != i {
+			t.Fatalf("target %d has index %d", i, tg.Index)
+		}
+		if tg.Name == "" {
+			t.Fatalf("target %d has no name", i)
+		}
+	}
+
+	if _, err := Enumerate(EnumSpec{Profiles: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown profile not rejected")
+	}
+	if _, err := Enumerate(EnumSpec{Impairments: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown impairment not rejected")
+	}
+	if _, err := Enumerate(EnumSpec{Tests: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown test not rejected")
+	}
+
+	full, err := Enumerate(EnumSpec{Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Profiles()) * len(ImpairmentNames()) * len(Tests) * 2
+	if len(full) != want {
+		t.Fatalf("default enumeration %d targets, want %d", len(full), want)
+	}
+
+	// Seed pairing: the four tests at one profile×impairment×replica
+	// share a seed (so their results stay pairable on one path
+	// instance), while distinct profiles or impairments draw distinct
+	// path instances.
+	seedOf := func(profile, impairment, test string) uint64 {
+		for _, tg := range full {
+			if tg.Profile == profile && tg.Impairment == impairment && tg.Test == test {
+				return tg.Seed
+			}
+		}
+		t.Fatalf("target %s/%s/%s not found", profile, impairment, test)
+		return 0
+	}
+	if seedOf("freebsd4", "trunk", "single") != seedOf("freebsd4", "trunk", "syn") {
+		t.Fatal("tests at one profile×impairment do not share a path seed")
+	}
+	if seedOf("freebsd4", "trunk", "single") == seedOf("linux22", "trunk", "single") {
+		t.Fatal("different profiles share a path seed")
+	}
+	if seedOf("freebsd4", "trunk", "single") == seedOf("freebsd4", "arq", "single") {
+		t.Fatal("different impairments share a path seed")
+	}
+}
+
+func TestLoadTargetsRoundTrip(t *testing.T) {
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTargets(&buf, targets); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTargets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(targets, loaded) {
+		t.Fatal("targets did not round-trip through the file format")
+	}
+
+	if _, err := LoadTargets(strings.NewReader("freebsd4 clean single\n")); err == nil {
+		t.Fatal("short line not rejected")
+	}
+	if _, err := LoadTargets(strings.NewReader("bogus clean single 1\n")); err == nil {
+		t.Fatal("unknown profile not rejected")
+	}
+	got, err := LoadTargets(strings.NewReader("# comment\n\nfreebsd4 clean single 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seed != 7 {
+		t.Fatalf("comment/blank handling broken: %+v", got)
+	}
+}
+
+// TestProbeHermetic checks that a probe depends only on the target spec:
+// same spec, same result, no matter how often or where it runs.
+func TestProbeHermetic(t *testing.T) {
+	tg := Target{Index: 3, Name: "x", Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 99}
+	a := ProbeTarget(tg, 6, 0)
+	b := ProbeTarget(tg, 6, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("probe not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Err != "" {
+		t.Fatalf("probe errored: %s", a.Err)
+	}
+	if a.FwdValid == 0 {
+		t.Fatal("probe produced no valid forward samples")
+	}
+}
+
+// TestProbeDCTExclusion checks that zero-IPID hosts are excluded, not
+// errored.
+func TestProbeDCTExclusion(t *testing.T) {
+	tg := Target{Profile: "linux24", Impairment: "clean", Test: "dual", Seed: 5}
+	res := ProbeTarget(tg, 6, 0)
+	if res.Err != "" {
+		t.Fatalf("unexpected error: %s", res.Err)
+	}
+	if res.DCTExcluded != "zero-ipid" {
+		t.Fatalf("DCTExcluded = %q, want zero-ipid", res.DCTExcluded)
+	}
+}
+
+// runCampaign is a test helper running a campaign over the small spec.
+func runCampaign(t *testing.T, dir string, workers int, mutate func(*Config)) (*Summary, []byte) {
+	t.Helper()
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.jsonl")
+	cfg := Config{
+		Targets:    targets,
+		Samples:    4,
+		Workers:    workers,
+		OutputPath: out,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, data
+}
+
+// TestCampaignDeterministicOutput is the campaign determinism contract:
+// the same seed and target set produce byte-identical JSONL and an equal
+// summary across runs — including runs with different worker counts.
+func TestCampaignDeterministicOutput(t *testing.T) {
+	sumA, bytesA := runCampaign(t, t.TempDir(), 16, nil)
+	sumB, bytesB := runCampaign(t, t.TempDir(), 16, nil)
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatal("two identical runs produced different JSONL bytes")
+	}
+	if !reflect.DeepEqual(sumA, sumB) {
+		t.Fatalf("two identical runs produced different summaries:\n%+v\n%+v", sumA, sumB)
+	}
+
+	sumC, bytesC := runCampaign(t, t.TempDir(), 1, nil)
+	if !bytes.Equal(bytesA, bytesC) {
+		t.Fatal("worker count changed the JSONL bytes")
+	}
+	if !reflect.DeepEqual(sumA, sumC) {
+		t.Fatal("worker count changed the summary")
+	}
+	if sumA.Targets != 24 || sumA.Measured == 0 {
+		t.Fatalf("suspicious summary: %+v", sumA)
+	}
+	// linux24 and lb-pool dual targets must be excluded, not errored.
+	if sumA.Excluded == 0 {
+		t.Fatalf("expected IPID exclusions, got none: %+v", sumA)
+	}
+}
+
+// TestCampaignResume is the checkpoint contract: stop after K results,
+// resume, and the final JSONL and summary equal an uninterrupted run's.
+func TestCampaignResume(t *testing.T) {
+	full, fullBytes := runCampaign(t, t.TempDir(), 8, nil)
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	// Phase 1: run the first 7 targets, checkpointing every result.
+	runCampaign(t, dir, 8, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = 1
+		c.StopAfter = 7
+	})
+	ck, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Done != 7 {
+		t.Fatalf("checkpoint done = %d, want 7", ck.Done)
+	}
+	// Phase 2: resume to completion.
+	resumed, resumedBytes := runCampaign(t, dir, 8, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.Resume = true
+	})
+	if !bytes.Equal(fullBytes, resumedBytes) {
+		t.Fatal("resumed JSONL differs from uninterrupted run")
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatalf("resumed summary differs from uninterrupted run:\n%+v\n%+v", full, resumed)
+	}
+}
+
+// TestCampaignResumeTruncatesUnacknowledged simulates a crash where the
+// output ran ahead of the checkpoint: extra records past the checkpoint
+// must be dropped and re-probed to the same bytes.
+func TestCampaignResumeTruncatesUnacknowledged(t *testing.T) {
+	_, fullBytes := runCampaign(t, t.TempDir(), 8, nil)
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	runCampaign(t, dir, 8, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = 1
+		c.StopAfter = 9
+	})
+	// Claim fewer emitted than the file holds, as after a crash between
+	// output write and checkpoint save.
+	targets, _ := Enumerate(smallSpec())
+	ck := Checkpoint{Fingerprint: Fingerprint(targets, 4), Done: 5}
+	if err := ck.Save(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	_, resumedBytes := runCampaign(t, dir, 8, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.Resume = true
+	})
+	if !bytes.Equal(fullBytes, resumedBytes) {
+		t.Fatal("resume after over-written output differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointNeverAheadOfOutput is the crash-safety invariant: at the
+// moment a checkpoint is durably saved, the output file must already hold
+// at least that many complete records — otherwise a crash right after the
+// save leaves an unresumable campaign. Observed through the Progress
+// callback, which runs after each emit (and thus after any checkpoint).
+func TestCheckpointNeverAheadOfOutput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.jsonl")
+	ckpt := filepath.Join(dir, "ckpt.json")
+	runCampaign(t, dir, 8, func(c *Config) {
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = 1
+		c.Progress = func(done, total int) {
+			ck, err := LoadCheckpoint(ckpt)
+			if err != nil {
+				t.Fatalf("at done=%d: %v", done, err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatalf("at done=%d: %v", done, err)
+			}
+			if lines := bytes.Count(data, []byte("\n")); lines < ck.Done {
+				t.Fatalf("checkpoint acknowledges %d records but output holds %d", ck.Done, lines)
+			}
+		}
+	})
+}
+
+// TestCampaignResumeCSV checks the resume contract extends to the CSV
+// sink: the resumed CSV equals an uninterrupted run's byte for byte.
+func TestCampaignResumeCSV(t *testing.T) {
+	fullDir := t.TempDir()
+	runCampaign(t, fullDir, 8, func(c *Config) {
+		c.CSVPath = filepath.Join(fullDir, "out.csv")
+	})
+	fullCSV, err := os.ReadFile(filepath.Join(fullDir, "out.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	csv := filepath.Join(dir, "out.csv")
+	runCampaign(t, dir, 8, func(c *Config) {
+		c.CSVPath = csv
+		c.CheckpointPath = ckpt
+		c.CheckpointEvery = 1
+		c.StopAfter = 7
+	})
+	runCampaign(t, dir, 8, func(c *Config) {
+		c.CSVPath = csv
+		c.CheckpointPath = ckpt
+		c.Resume = true
+	})
+	resumedCSV, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullCSV, resumedCSV) {
+		t.Fatal("resumed CSV differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointFingerprintMismatch checks that a checkpoint cannot
+// resume a different campaign.
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	if err := (Checkpoint{Fingerprint: 0xdead, Done: 3}).Save(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(Config{
+		Targets:        targets,
+		Samples:        4,
+		OutputPath:     filepath.Join(dir, "out.jsonl"),
+		CheckpointPath: ckpt,
+		Resume:         true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("fingerprint mismatch not rejected: %v", err)
+	}
+}
+
+// TestCSVSink checks header, row cadence and resume header suppression.
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	r := &TargetResult{Index: 0, Name: "n", Profile: "p", Impairment: "i", Test: "single", Attempts: 1}
+	if err := s.Emit(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "index,name,profile") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+
+}
+
+// TestAggregatorShardingInvariance checks that spreading the same results
+// over many shards or one produces the same summary.
+func TestAggregatorShardingInvariance(t *testing.T) {
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*TargetResult
+	for _, tg := range targets {
+		results = append(results, ProbeTarget(tg, 4, 0))
+	}
+
+	one := NewAggregator(1)
+	for _, r := range results {
+		one.Shard(0).Add(r)
+	}
+	many := NewAggregator(8)
+	for i, r := range results {
+		many.Shard(7 - i%8).Add(r) // adversarial spread
+	}
+	if !reflect.DeepEqual(one.Summary(), many.Summary()) {
+		t.Fatal("shard layout changed the summary")
+	}
+}
+
+// TestSummaryWriteTextDeterministic locks the report rendering down.
+func TestSummaryWriteTextDeterministic(t *testing.T) {
+	sum, _ := runCampaign(t, t.TempDir(), 4, nil)
+	var a, b bytes.Buffer
+	sum.WriteText(&a)
+	sum.WriteText(&b)
+	if a.String() != b.String() || a.Len() == 0 {
+		t.Fatal("summary rendering unstable or empty")
+	}
+}

@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// Checkpoint records durable campaign progress: how many results have been
+// emitted, in index order, to the output stream. The JSONL output itself
+// is the state — resume replays its prefix into the aggregator — so the
+// checkpoint stays a few dozen bytes no matter the campaign size.
+type Checkpoint struct {
+	// Fingerprint ties the checkpoint to one (targets, samples) pair so a
+	// checkpoint can never silently resume a different campaign.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Done is the number of results emitted.
+	Done int `json:"done"`
+}
+
+// Fingerprint hashes the campaign's deterministic inputs.
+func Fingerprint(targets []Target, samples int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "samples=%d\n", samples)
+	for _, t := range targets {
+		fmt.Fprintf(h, "%s|%s|%s|%d\n", t.Profile, t.Impairment, t.Test, t.Seed)
+	}
+	return h.Sum64()
+}
+
+// Save writes the checkpoint atomically (temp file + rename), so a crash
+// mid-save leaves the previous checkpoint intact.
+func (c Checkpoint) Save(path string) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	var c Checkpoint
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("campaign: checkpoint %s: %w", path, err)
+	}
+	if c.Done < 0 {
+		return c, fmt.Errorf("campaign: checkpoint %s: negative done count", path)
+	}
+	return c, nil
+}
+
+// replayOutput reads the first done records back from the JSONL output of
+// an interrupted campaign and truncates anything past them (a crash may
+// have written results the checkpoint never acknowledged; they are
+// re-probed, deterministically, to the same bytes).
+func replayOutput(path string, done int) ([]*TargetResult, error) {
+	if done == 0 {
+		return nil, nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("campaign: resume requires OutputPath (the checkpoint replays from it)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	results := make([]*TargetResult, 0, done)
+	var offset int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for len(results) < done && sc.Scan() {
+		line := sc.Bytes()
+		r := &TargetResult{}
+		if err := json.Unmarshal(line, r); err != nil {
+			return nil, fmt.Errorf("campaign: %s record %d: %w", path, len(results), err)
+		}
+		if r.Index != len(results) {
+			return nil, fmt.Errorf("campaign: %s record %d has index %d; output does not match checkpoint",
+				path, len(results), r.Index)
+		}
+		results = append(results, r)
+		offset += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) < done {
+		return nil, fmt.Errorf("campaign: %s has %d records but checkpoint says %d emitted",
+			path, len(results), done)
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

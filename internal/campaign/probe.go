@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"time"
+
+	"reorder/internal/core"
+	"reorder/internal/sim"
+	"reorder/internal/simnet"
+)
+
+// TargetResult is the streamed, per-target campaign record. Field order is
+// the JSONL column order; keep it append-only so old campaign outputs stay
+// parseable.
+type TargetResult struct {
+	Index      int    `json:"index"`
+	Name       string `json:"name"`
+	Profile    string `json:"profile"`
+	Impairment string `json:"impairment"`
+	Test       string `json:"test"`
+	Seed       uint64 `json:"seed"`
+
+	// Attempts is how many probe attempts this result took (1 = first try).
+	Attempts int `json:"attempts"`
+	// Err is the terminal error, empty on success.
+	Err string `json:"error,omitempty"`
+	// DCTExcluded records why IPID prevalidation ruled the dual test out.
+	DCTExcluded string `json:"dct_excluded,omitempty"`
+
+	FwdValid     int     `json:"fwd_valid"`
+	FwdReordered int     `json:"fwd_reordered"`
+	FwdRate      float64 `json:"fwd_rate"`
+	RevValid     int     `json:"rev_valid"`
+	RevReordered int     `json:"rev_reordered"`
+	RevRate      float64 `json:"rev_rate"`
+
+	// AnyReordering is the §IV-B "measurement with at least one reordered
+	// sample" bit.
+	AnyReordering bool `json:"any_reordering"`
+	// RTTMicros is the mean sample round-trip time in microseconds.
+	RTTMicros int64 `json:"rtt_us"`
+	// SeqRatio is the IPPM reordered-packet ratio of the transfer test's
+	// arrival sequence (transfer only).
+	SeqRatio float64 `json:"seq_ratio,omitempty"`
+}
+
+// PathRate is the target's overall reordering rate: valid samples from
+// both directions pooled, as the survey's per-path statistic pools them.
+func (r *TargetResult) PathRate() (float64, bool) {
+	valid := r.FwdValid + r.RevValid
+	if valid == 0 {
+		return 0, false
+	}
+	return float64(r.FwdReordered+r.RevReordered) / float64(valid), true
+}
+
+// ProbeTarget runs one target's measurement hermetically: the scenario,
+// prober and all randomness derive from the target spec and attempt
+// number alone, so a probe's outcome is independent of scheduling, worker
+// count and whatever else the campaign is doing. Errors are recorded in
+// the result rather than returned: a campaign always yields one record
+// per target.
+func ProbeTarget(t Target, samples int, attempt int) *TargetResult {
+	if samples <= 0 {
+		samples = 8
+	}
+	res := &TargetResult{
+		Index: t.Index, Name: t.Name, Profile: t.Profile,
+		Impairment: t.Impairment, Test: t.Test, Seed: t.Seed,
+		Attempts: attempt + 1,
+	}
+
+	cfg, err := resolveProfile(t.Profile)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	imp, err := impairmentByName(t.Impairment)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	// Retries re-derive the stream so a fresh attempt sees fresh ports,
+	// ISNs and path draws — deterministically, since the attempt sequence
+	// of a target is itself deterministic.
+	rng := sim.NewRand(t.Seed, 0xca3^uint64(attempt))
+	cfg.Seed = rng.Uint64()
+	cfg.Forward, cfg.Reverse = imp.Build(rng.Fork(1))
+	// Size served objects so one transfer test stays around `samples`
+	// segments, like the survey's root web objects.
+	cfg.Server.TCP.ObjectSize = (samples + 1) * 256
+	for i := range cfg.Backends {
+		cfg.Backends[i].TCP.ObjectSize = (samples + 1) * 256
+	}
+
+	n := simnet.New(cfg)
+	prober := core.NewProber(n.Probe(), n.ServerAddr(), rng.Uint64())
+
+	var out *core.Result
+	switch t.Test {
+	case "single":
+		out, err = prober.SingleConnectionTest(core.SCTOptions{Samples: samples, Reversed: true})
+	case "dual":
+		rep, verr := prober.ValidateIPID(core.IPIDCheckOptions{Probes: 12})
+		switch {
+		case verr != nil:
+			err = verr
+		case !rep.Usable():
+			if rep.Constant {
+				res.DCTExcluded = "zero-ipid"
+			} else {
+				res.DCTExcluded = "non-monotonic"
+			}
+			return res
+		default:
+			out, err = prober.DualConnectionTest(core.DCTOptions{Samples: samples})
+		}
+	case "syn":
+		out, err = prober.SYNTest(core.SYNOptions{Samples: samples})
+	case "transfer":
+		out, err = prober.DataTransferTest(core.TransferOptions{IdleTimeout: 500 * time.Millisecond})
+	default:
+		res.Err = "campaign: unknown test " + t.Test
+		return res
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	fwd, rev := out.Forward(), out.Reverse()
+	res.FwdValid, res.FwdReordered, res.FwdRate = fwd.Valid(), fwd.Reordered, fwd.Rate()
+	res.RevValid, res.RevReordered, res.RevRate = rev.Valid(), rev.Reordered, rev.Rate()
+	res.AnyReordering = out.AnyReordering()
+	res.RTTMicros = out.MeanRTT().Microseconds()
+	if sm := out.SequenceMetrics(); sm != nil {
+		res.SeqRatio = sm.Ratio()
+	}
+	return res
+}

@@ -1,0 +1,250 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// SchedulerConfig tunes the worker pool.
+type SchedulerConfig struct {
+	// Workers is the pool size (default 16).
+	Workers int
+	// Retries is how many additional attempts a failing job gets.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per
+	// subsequent attempt (0 = retry immediately).
+	Backoff time.Duration
+	// RatePerSec caps job launches per second via a token bucket
+	// (0 = unlimited). Each attempt, including retries, takes one token.
+	RatePerSec float64
+	// Burst is the bucket capacity (default Workers).
+	Burst int
+	// Window bounds how far job dispatch may run ahead of the in-order
+	// emit frontier (default max(4×Workers, 64)). It is what makes the
+	// re-sequencing buffer — and any per-index state the caller retains
+	// until emit — genuinely bounded when one slow job holds the
+	// frontier while thousands of later jobs finish.
+	Window int
+}
+
+// DefaultWorkers is the pool size when SchedulerConfig.Workers is zero.
+const DefaultWorkers = 16
+
+// Scheduler runs indexed jobs through a bounded worker pool and delivers
+// completions strictly in index order. Job side effects keyed by index (or
+// by worker, for sharded aggregation) need no locking: each index is
+// processed by exactly one worker, and the emit callback runs serially.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	// sleep and now are wall-clock hooks, replaceable by tests. A nil
+	// sleep means real time, waited interruptibly against the run's stop
+	// channel; a test-injected sleep is called directly.
+	sleep func(time.Duration)
+	now   func() time.Time
+}
+
+// sleepStop waits d, returning false early if stop closes first.
+func (s *Scheduler) sleepStop(d time.Duration, stop <-chan struct{}) bool {
+	if s.sleep != nil {
+		s.sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// NewScheduler returns a scheduler with the given configuration.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Workers
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4 * cfg.Workers
+		if cfg.Window < 64 {
+			cfg.Window = 64
+		}
+	}
+	if cfg.Window < cfg.Workers {
+		cfg.Window = cfg.Workers // never starve the pool
+	}
+	return &Scheduler{cfg: cfg, now: time.Now}
+}
+
+// Workers returns the effective pool size.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Run executes jobs for indices [start, end). job is called as
+// job(worker, index, attempt); a non-nil return triggers a retry after
+// backoff, up to the configured retry budget, after which the job counts
+// as done regardless (the job records its own terminal error). emit is
+// called serially, in ascending index order, once per finished index; a
+// non-nil emit error cancels the run and is returned. A nil emit is
+// allowed when only job side effects matter.
+func (s *Scheduler) Run(start, end int, job func(worker, index, attempt int) error, emit func(index int) error) error {
+	if start >= end {
+		return nil
+	}
+	limiter := newTokenBucket(s.cfg.RatePerSec, float64(s.cfg.Burst), s.now)
+
+	idxCh := make(chan int)
+	doneCh := make(chan int, s.cfg.Workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// credits implements the dispatch window: the feeder takes one per
+	// index, the collector returns one per in-order emit, so at most
+	// Window indices are ever issued-but-unemitted.
+	credits := make(chan struct{}, s.cfg.Window)
+	for i := 0; i < s.cfg.Window; i++ {
+		credits <- struct{}{}
+	}
+
+	go func() { // feeder
+		defer close(idxCh)
+		for i := start; i < end; i++ {
+			select {
+			case <-credits:
+			case <-stop:
+				return
+			}
+			select {
+			case idxCh <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range idxCh {
+				s.runJob(worker, i, job, limiter, stop)
+				select {
+				case doneCh <- i:
+				case <-stop:
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	// Re-sequence completions: workers finish in arbitrary order, sinks
+	// must see index order. The dispatch window caps the pending set at
+	// Window entries even when one slow job holds the frontier, so
+	// memory stays bounded for any campaign size.
+	pending := make(map[int]bool, s.cfg.Window)
+	next := start
+	var emitErr error
+	for i := range doneCh {
+		pending[i] = true
+		for emitErr == nil && pending[next] {
+			delete(pending, next)
+			if emit != nil {
+				if err := emit(next); err != nil {
+					emitErr = err
+					cancel()
+				}
+			}
+			next++
+			select {
+			case credits <- struct{}{}: // reopen the window
+			default:
+				// Unreachable by credit accounting (every emitted
+				// index holds exactly one credit); non-blocking as
+				// insurance against future drift.
+			}
+		}
+	}
+	cancel()
+	return emitErr
+}
+
+// runJob drives one index through its attempts. Rate-limit and backoff
+// waits abort when stop closes, so a cancelled run (emit failure) is not
+// held hostage by slow politeness timers.
+func (s *Scheduler) runJob(worker, index int, job func(worker, index, attempt int) error, limiter *tokenBucket, stop <-chan struct{}) {
+	backoff := s.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		if !limiter.take(s, stop) {
+			return
+		}
+		err := job(worker, index, attempt)
+		if err == nil || attempt >= s.cfg.Retries {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if backoff > 0 {
+			if !s.sleepStop(backoff, stop) {
+				return
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// tokenBucket is a blocking wall-clock rate limiter.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// take blocks until a token is available, waiting through the
+// scheduler's interruptible sleep; it returns false if stop closed
+// before a token arrived. A nil bucket always succeeds immediately.
+func (tb *tokenBucket) take(s *Scheduler, stop <-chan struct{}) bool {
+	if tb == nil {
+		return true
+	}
+	for {
+		tb.mu.Lock()
+		now := tb.now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+		if tb.tokens >= 1 {
+			tb.tokens--
+			tb.mu.Unlock()
+			return true
+		}
+		wait := time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+		tb.mu.Unlock()
+		if !s.sleepStop(wait, stop) {
+			return false
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchedulerOrderedEmit checks that completions are re-sequenced into
+// strict index order regardless of worker interleaving.
+func TestSchedulerOrderedEmit(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 8})
+	const n = 100
+	var mu sync.Mutex
+	done := make([]bool, n)
+	var emitted []int
+	err := s.Run(0, n,
+		func(worker, index, attempt int) error {
+			// Uneven simulated work so completion order scrambles.
+			time.Sleep(time.Duration(index%7) * time.Millisecond / 4)
+			mu.Lock()
+			done[index] = true
+			mu.Unlock()
+			return nil
+		},
+		func(index int) error {
+			if !done[index] {
+				t.Errorf("emit(%d) before its job finished", index)
+			}
+			emitted = append(emitted, index)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != n {
+		t.Fatalf("emitted %d of %d", len(emitted), n)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emit order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestSchedulerRetryBackoff checks the retry budget and the doubling
+// backoff schedule.
+func TestSchedulerRetryBackoff(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 1, Retries: 3, Backoff: 50 * time.Millisecond})
+	var slept []time.Duration
+	s.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	attempts := 0
+	err := s.Run(0, 1,
+		func(worker, index, attempt int) error {
+			attempts++
+			if attempt < 2 {
+				return errors.New("transient")
+			}
+			return nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("backoff sleeps = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff sleeps = %v, want %v", slept, want)
+		}
+	}
+}
+
+// TestSchedulerRetriesExhausted checks that a job failing every attempt
+// still counts as done and the run completes.
+func TestSchedulerRetriesExhausted(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 2, Retries: 2})
+	attempts := make([]int, 3)
+	emitted := 0
+	err := s.Run(0, 3,
+		func(worker, index, attempt int) error {
+			attempts[index]++
+			return errors.New("always fails")
+		},
+		func(index int) error { emitted++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 3 {
+		t.Fatalf("emitted = %d, want 3", emitted)
+	}
+	for i, a := range attempts {
+		if a != 3 {
+			t.Fatalf("job %d ran %d attempts, want 3", i, a)
+		}
+	}
+}
+
+// TestSchedulerDispatchWindow checks the bounded re-sequencing contract:
+// while a slow job holds the emit frontier, dispatch never runs more than
+// Window indices ahead, so completed-but-unemitted state stays bounded.
+func TestSchedulerDispatchWindow(t *testing.T) {
+	const window = 8
+	s := NewScheduler(SchedulerConfig{Workers: 2, Window: window})
+	release := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	maxStarted, completed := 0, 0
+	emitted := 0
+	err := s.Run(0, 100,
+		func(worker, index, attempt int) error {
+			mu.Lock()
+			if index > maxStarted {
+				maxStarted = index
+			}
+			mu.Unlock()
+			if index == 0 {
+				<-release // hold the emit frontier
+				return nil
+			}
+			mu.Lock()
+			completed++
+			saturated := completed == window-1
+			mu.Unlock()
+			if saturated {
+				// Everything the window allows has finished; give the
+				// feeder a moment to (wrongly) overreach, then check.
+				go func() {
+					time.Sleep(20 * time.Millisecond)
+					mu.Lock()
+					got := maxStarted
+					mu.Unlock()
+					if got >= window {
+						t.Errorf("dispatch reached index %d with frontier held; window is %d", got, window)
+					}
+					once.Do(func() { close(release) })
+				}()
+			}
+			return nil
+		},
+		func(index int) error { emitted++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 100 {
+		t.Fatalf("emitted %d of 100", emitted)
+	}
+}
+
+// TestSchedulerEmitError checks that an emit failure cancels the run and
+// surfaces the error.
+func TestSchedulerEmitError(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 4})
+	sentinel := errors.New("sink full")
+	err := s.Run(0, 64,
+		func(worker, index, attempt int) error { return nil },
+		func(index int) error {
+			if index == 5 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+// TestTokenBucket drives the limiter with a fake clock: the sleep hook is
+// the only thing advancing time, so the token arithmetic is fully
+// observable.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	var slept time.Duration
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	s.now = func() time.Time { return now }
+	s.sleep = func(d time.Duration) {
+		slept += d
+		now = now.Add(d)
+	}
+	tb := newTokenBucket(10, 1, s.now) // 10 tokens/s, burst 1
+
+	tb.take(s, nil) // the initial burst token: no wait
+	if slept != 0 {
+		t.Fatalf("first take slept %v, want 0", slept)
+	}
+	tb.take(s, nil)
+	tb.take(s, nil)
+	// Each subsequent token accrues at 100ms.
+	if want := 200 * time.Millisecond; slept != want {
+		t.Fatalf("three takes slept %v, want %v", slept, want)
+	}
+
+	if tb := newTokenBucket(0, 4, s.now); tb != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+}
+
+// TestSchedulerCancelInterruptsRateWait checks that an emit failure is
+// not held hostage by the rate limiter: workers parked on token waits
+// abort when the run is cancelled.
+func TestSchedulerCancelInterruptsRateWait(t *testing.T) {
+	// One launch every 2 seconds; without interruptible waits this run
+	// would take ~6+ seconds to unwind after the emit error.
+	s := NewScheduler(SchedulerConfig{Workers: 4, RatePerSec: 0.5, Burst: 1})
+	sentinel := errors.New("sink failed")
+	began := time.Now()
+	err := s.Run(0, 10,
+		func(worker, index, attempt int) error { return nil },
+		func(index int) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if elapsed := time.Since(began); elapsed > time.Second {
+		t.Fatalf("cancel took %v; rate-limit waits were not interrupted", elapsed)
+	}
+}
+
+// TestSchedulerRateLimit checks that the pool threads every attempt
+// through the bucket.
+func TestSchedulerRateLimit(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 2, RatePerSec: 1000, Burst: 1})
+	var mu sync.Mutex
+	var slept time.Duration
+	now := time.Unix(0, 0)
+	s.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	s.sleep = func(d time.Duration) {
+		mu.Lock()
+		slept += d
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	err := s.Run(0, 5, func(worker, index, attempt int) error { return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 launches, burst 1: at least 4 tokens accrued by sleeping.
+	if slept < 4*time.Millisecond {
+		t.Fatalf("rate limiter slept %v, want >= 4ms", slept)
+	}
+}

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Sink is a streaming consumer of per-target results. The campaign feeds
+// sinks strictly in target-index order, one result at a time, so a sink
+// never needs to buffer or sort; memory stays constant however large the
+// campaign is.
+type Sink interface {
+	Emit(r *TargetResult) error
+	// Flush forces buffered results to the underlying writer. The
+	// campaign flushes every sink before saving a checkpoint, so the
+	// durable output can never lag behind the acknowledged count.
+	Flush() error
+	// Close flushes and releases the sink. The campaign closes every
+	// sink it was given, including on error paths.
+	Close() error
+}
+
+// JSONLSink streams one JSON object per line. Field order is fixed by the
+// TargetResult struct, which makes the stream byte-reproducible and
+// therefore checkpoint-resumable.
+type JSONLSink struct {
+	bw *bufio.Writer
+	c  io.Closer
+}
+
+// NewJSONLSink wraps w. If w is an io.Closer it is closed by Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(r *TargetResult) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(data); err != nil {
+		return err
+	}
+	return s.bw.WriteByte('\n')
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error { return s.bw.Flush() }
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	err := s.bw.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// CSVSink streams results as CSV in the same writer idiom as the
+// experiment reports (internal/experiments/csv.go): shortest-roundtrip
+// floats, one documented column set. The header is written before the
+// first row; on resume the campaign rebuilds the file from the replayed
+// prefix rather than appending.
+type CSVSink struct {
+	cw        *csv.Writer
+	c         io.Closer
+	wroteHead bool
+}
+
+// csvHeader is the column set, aligned with TargetResult's JSON fields.
+var csvHeader = []string{
+	"index", "name", "profile", "impairment", "test", "seed", "attempts",
+	"error", "dct_excluded", "fwd_valid", "fwd_reordered", "fwd_rate",
+	"rev_valid", "rev_reordered", "rev_rate", "any_reordering", "rtt_us",
+	"seq_ratio",
+}
+
+// NewCSVSink wraps w. If w is an io.Closer it is closed by Close.
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{cw: csv.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Emit implements Sink.
+func (s *CSVSink) Emit(r *TargetResult) error {
+	if !s.wroteHead {
+		s.wroteHead = true
+		if err := s.cw.Write(csvHeader); err != nil {
+			return err
+		}
+	}
+	return s.cw.Write([]string{
+		strconv.Itoa(r.Index), r.Name, r.Profile, r.Impairment, r.Test,
+		strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Attempts),
+		r.Err, r.DCTExcluded,
+		strconv.Itoa(r.FwdValid), strconv.Itoa(r.FwdReordered), fmtFloat(r.FwdRate),
+		strconv.Itoa(r.RevValid), strconv.Itoa(r.RevReordered), fmtFloat(r.RevRate),
+		strconv.FormatBool(r.AnyReordering), strconv.FormatInt(r.RTTMicros, 10),
+		fmtFloat(r.SeqRatio),
+	})
+}
+
+// Flush implements Sink.
+func (s *CSVSink) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// Close implements Sink.
+func (s *CSVSink) Close() error {
+	s.cw.Flush()
+	err := s.cw.Error()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// FuncSink adapts a function to the Sink interface, for tests and
+// in-process consumers.
+type FuncSink func(r *TargetResult) error
+
+// Emit implements Sink.
+func (f FuncSink) Emit(r *TargetResult) error { return f(r) }
+
+// Flush implements Sink.
+func (FuncSink) Flush() error { return nil }
+
+// Close implements Sink.
+func (FuncSink) Close() error { return nil }

@@ -1,0 +1,299 @@
+package campaign
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"reorder/internal/host"
+	"reorder/internal/netem"
+	"reorder/internal/sim"
+	"reorder/internal/simnet"
+)
+
+// Target is one unit of campaign work: one measurement technique run once
+// against one simulated host reached over one impaired path. Everything a
+// probe needs is derivable from these fields, which is what makes campaign
+// results independent of scheduling.
+type Target struct {
+	// Index is the position in the campaign's target list.
+	Index int `json:"index"`
+	// Name identifies the target in reports ("profile/impairment/test/sN").
+	Name string `json:"name"`
+	// Profile is a host profile name from Profiles().
+	Profile string `json:"profile"`
+	// Impairment is a path impairment name from Impairments().
+	Impairment string `json:"impairment"`
+	// Test is the technique: "single", "dual", "syn" or "transfer".
+	Test string `json:"test"`
+	// Seed drives every stochastic choice the target's scenario makes.
+	Seed uint64 `json:"seed"`
+}
+
+// defaultName derives the canonical target name.
+func (t Target) defaultName() string {
+	return fmt.Sprintf("%s/%s/%s/s%d", t.Profile, t.Impairment, t.Test, t.Seed)
+}
+
+// Tests are the four techniques, in the survey's round-robin order.
+var Tests = []string{"single", "dual", "syn", "transfer"}
+
+// LBPool is the pseudo-profile name for a load-balanced backend pool (the
+// survey's "popular site" analogue).
+const LBPool = "lb-pool"
+
+// Profiles returns the names enumerable as campaign targets: the full
+// host catalog plus the load-balanced pool.
+func Profiles() []string {
+	var names []string
+	for _, p := range host.Catalog() {
+		names = append(names, p.Name)
+	}
+	return append(names, LBPool)
+}
+
+// resolveProfile maps a profile name to the scenario skeleton it implies.
+func resolveProfile(name string) (simnet.Config, error) {
+	if name == LBPool {
+		return simnet.Config{Backends: []host.Profile{
+			host.FreeBSD4(), host.Linux22(), host.Windows2000(), host.FreeBSD4(),
+		}}, nil
+	}
+	for _, p := range host.Catalog() {
+		if p.Name == name {
+			return simnet.Config{Server: p}, nil
+		}
+	}
+	return simnet.Config{}, fmt.Errorf("campaign: unknown profile %q", name)
+}
+
+// Impairment is a named, seedable path condition.
+type Impairment struct {
+	// Name identifies the impairment in target specs.
+	Name string
+	// Build derives the directional path specs from a per-target stream.
+	Build func(rng *sim.Rand) (fwd, rev simnet.PathSpec)
+}
+
+// fastPath is the base spec shared by all impairments: a fast access link
+// so serialization never dominates the impairment under test.
+func fastPath() simnet.PathSpec {
+	return simnet.PathSpec{LinkRate: 100_000_000}
+}
+
+// Impairments returns the registry of named path conditions a campaign
+// can enumerate: the §V reordering mechanisms plus clean and lossy
+// controls. All are deterministic functions of the passed stream.
+func Impairments() []Impairment {
+	return []Impairment{
+		{Name: "clean", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			return fastPath(), fastPath()
+		}},
+		{Name: "swap-light", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			fwd, rev := fastPath(), fastPath()
+			fwd.SwapProb = 0.02 + rng.Float64()*0.02
+			rev.SwapProb = fwd.SwapProb * 0.35
+			return fwd, rev
+		}},
+		{Name: "swap-heavy", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			fwd, rev := fastPath(), fastPath()
+			fwd.SwapProb = 0.10 + rng.Float64()*0.10
+			rev.SwapProb = fwd.SwapProb * 0.35
+			return fwd, rev
+		}},
+		{Name: "trunk", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			fwd, rev := fastPath(), fastPath()
+			prob := 0.05 + rng.ExpFloat64()*0.10
+			if prob > 0.5 {
+				prob = 0.5
+			}
+			mean := 600 + rng.ExpFloat64()*900
+			fwd.Trunk = &netem.TrunkConfig{FanOut: 2, RateBps: 622_000_000, BurstProb: prob, MeanBurstBytes: mean}
+			rev.Trunk = &netem.TrunkConfig{FanOut: 2, RateBps: 622_000_000, BurstProb: prob * 0.35, MeanBurstBytes: mean}
+			return fwd, rev
+		}},
+		{Name: "multipath", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			fwd, rev := fastPath(), fastPath()
+			spread := time.Duration(50+rng.IntN(200)) * time.Microsecond
+			fwd.MultiPath = &netem.MultiPathConfig{
+				Delays: []time.Duration{time.Millisecond, time.Millisecond + spread},
+			}
+			return fwd, rev
+		}},
+		{Name: "arq", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			fwd, rev := fastPath(), fastPath()
+			fwd.LinkRate = 1_000_000_000
+			fwd.ARQ = &netem.ARQConfig{
+				FrameErrorRate:  0.05 + rng.Float64()*0.10,
+				RetransmitDelay: 2 * time.Millisecond,
+			}
+			return fwd, rev
+		}},
+		{Name: "lossy", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			fwd, rev := fastPath(), fastPath()
+			fwd.Loss = 0.01 + rng.Float64()*0.02
+			rev.Loss = fwd.Loss
+			return fwd, rev
+		}},
+		{Name: "jitter", Build: func(rng *sim.Rand) (simnet.PathSpec, simnet.PathSpec) {
+			fwd, rev := fastPath(), fastPath()
+			fwd.Jitter = time.Duration(1+rng.IntN(4)) * time.Millisecond
+			rev.Jitter = fwd.Jitter
+			return fwd, rev
+		}},
+	}
+}
+
+// ImpairmentNames returns the registry names in registry order.
+func ImpairmentNames() []string {
+	var names []string
+	for _, im := range Impairments() {
+		names = append(names, im.Name)
+	}
+	return names
+}
+
+func impairmentByName(name string) (Impairment, error) {
+	for _, im := range Impairments() {
+		if im.Name == name {
+			return im, nil
+		}
+	}
+	return Impairment{}, fmt.Errorf("campaign: unknown impairment %q", name)
+}
+
+// EnumSpec describes a cross-product enumeration of targets.
+type EnumSpec struct {
+	// Profiles are host profile names (default: all of Profiles()).
+	Profiles []string
+	// Impairments are impairment names (default: all of ImpairmentNames()).
+	Impairments []string
+	// Tests are technique names (default: all of Tests).
+	Tests []string
+	// Seeds is how many seed replicas per combination (default 1).
+	Seeds int
+	// BaseSeed offsets the derived per-target seeds, so two campaigns
+	// over the same cross product can draw disjoint scenarios.
+	BaseSeed uint64
+}
+
+// Enumerate expands the cross product profiles × impairments × tests ×
+// seeds into a deterministic, stably ordered target list. Unknown profile
+// or impairment names are rejected up front so a campaign cannot fail
+// thousands of targets in.
+func Enumerate(spec EnumSpec) ([]Target, error) {
+	if len(spec.Profiles) == 0 {
+		spec.Profiles = Profiles()
+	}
+	if len(spec.Impairments) == 0 {
+		spec.Impairments = ImpairmentNames()
+	}
+	if len(spec.Tests) == 0 {
+		spec.Tests = append([]string(nil), Tests...)
+	}
+	if spec.Seeds <= 0 {
+		spec.Seeds = 1
+	}
+	for _, p := range spec.Profiles {
+		if _, err := resolveProfile(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, im := range spec.Impairments {
+		if _, err := impairmentByName(im); err != nil {
+			return nil, err
+		}
+	}
+	for _, te := range spec.Tests {
+		if !validTest(te) {
+			return nil, fmt.Errorf("campaign: unknown test %q", te)
+		}
+	}
+	var targets []Target
+	for _, p := range spec.Profiles {
+		for _, im := range spec.Impairments {
+			for _, te := range spec.Tests {
+				for s := 0; s < spec.Seeds; s++ {
+					t := Target{
+						Index:      len(targets),
+						Profile:    p,
+						Impairment: im,
+						Test:       te,
+						Seed:       deriveSeed(spec.BaseSeed, p, im, s),
+					}
+					t.Name = t.defaultName()
+					targets = append(targets, t)
+				}
+			}
+		}
+	}
+	return targets, nil
+}
+
+// deriveSeed mixes the base seed with the profile, impairment and replica
+// — but deliberately not the test, so the four techniques at one
+// profile×impairment×replica probe the identical path instance and their
+// results stay pairable for agreement analysis. Mixing the profile in
+// keeps different hosts from drawing identical paths, so a campaign's
+// pooled statistics reflect as many independent path instances as it has
+// profile×impairment×replica combinations.
+func deriveSeed(base uint64, profile, impairment string, replica int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d", base, profile, impairment, replica)
+	return h.Sum64()
+}
+
+func validTest(name string) bool {
+	switch name {
+	case "single", "dual", "syn", "transfer":
+		return true
+	}
+	return false
+}
+
+// LoadTargets parses a targets file: one target per line as
+// "profile impairment test seed", with blank lines and #-comments
+// ignored. Indices and names are assigned in file order.
+func LoadTargets(r io.Reader) ([]Target, error) {
+	var targets []Target
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("campaign: targets line %d: want \"profile impairment test seed\", got %q", line, text)
+		}
+		if _, err := resolveProfile(fields[0]); err != nil {
+			return nil, fmt.Errorf("campaign: targets line %d: %w", line, err)
+		}
+		if _, err := impairmentByName(fields[1]); err != nil {
+			return nil, fmt.Errorf("campaign: targets line %d: %w", line, err)
+		}
+		if !validTest(fields[2]) {
+			return nil, fmt.Errorf("campaign: targets line %d: unknown test %q", line, fields[2])
+		}
+		seed, err := strconv.ParseUint(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: targets line %d: bad seed: %w", line, err)
+		}
+		t := Target{
+			Index: len(targets), Profile: fields[0], Impairment: fields[1],
+			Test: fields[2], Seed: seed,
+		}
+		t.Name = t.defaultName()
+		targets = append(targets, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return targets, nil
+}

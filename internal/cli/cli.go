@@ -1,0 +1,71 @@
+// Package cli holds the shared scaffolding of this repository's commands.
+// Every cmd/*/main.go is a thin shell: the logic lives in a testable
+// run(args, stdout) error function, adapted to process-exit semantics by
+// Main, with flag parsing routed through Parse so -h exits 0 with usage
+// and flag diagnostics are printed exactly once.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrUsage signals a flag-parse failure whose diagnostic the flag package
+// already printed to stderr; Main exits 2 without reprinting it.
+var ErrUsage = errors.New("usage error")
+
+// ErrReported signals a failure the run function already reported on
+// stderr; Main exits 1 without printing anything further.
+var ErrReported = errors.New("error already reported")
+
+// Parse runs fs over args. -h and -help print usage and surface as
+// flag.ErrHelp (a clean exit under Main); any other parse error surfaces
+// as ErrUsage, its diagnostic already printed by the flag package.
+func Parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return ErrUsage
+	}
+	return nil
+}
+
+// Usagef reports a usage-level mistake (bad arguments rather than a
+// runtime failure): it prints the diagnostic to stderr and returns
+// ErrUsage so Main exits 2 without reprinting it.
+func Usagef(format string, args ...any) error {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	return ErrUsage
+}
+
+// Main adapts a run function to exit codes: 0 on success or -h, 2 on
+// usage errors, 1 otherwise.
+func Main(run func(args []string, stdout io.Writer) error) {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil || errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, ErrUsage):
+		os.Exit(2)
+	case errors.Is(err, ErrReported):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// WriteCSVFile creates path and streams a report's CSV into it.
+func WriteCSVFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Bool("ok", false, "a flag")
+	return fs
+}
+
+func TestParseHelp(t *testing.T) {
+	if err := Parse(newFlagSet(), []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h -> %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestParseBadFlag(t *testing.T) {
+	if err := Parse(newFlagSet(), []string{"-nope"}); !errors.Is(err, ErrUsage) {
+		t.Fatalf("-nope -> %v, want ErrUsage", err)
+	}
+}
+
+func TestParseOK(t *testing.T) {
+	if err := Parse(newFlagSet(), []string{"-ok"}); err != nil {
+		t.Fatalf("-ok -> %v", err)
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	err := WriteCSVFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("a,b\n"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n" {
+		t.Fatalf("wrote %q", data)
+	}
+}

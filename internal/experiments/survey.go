@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"reorder/internal/campaign"
 	"reorder/internal/core"
 	"reorder/internal/host"
 	"reorder/internal/netem"
@@ -15,8 +16,9 @@ import (
 	"reorder/internal/stats"
 )
 
-// TestNames are the four techniques in the survey's round-robin order.
-var TestNames = []string{"single", "dual", "syn", "transfer"}
+// TestNames are the four techniques in the survey's round-robin order,
+// shared with the campaign subsystem so both layers agree on the set.
+var TestNames = campaign.Tests
 
 // SurveyConfig parameterizes E2/E4/E6: the §IV-B live-host survey. The
 // paper probed 50 hosts for 20 days, cycling the four tests round-robin,
@@ -31,6 +33,10 @@ type SurveyConfig struct {
 	Samples int
 	// Seed drives host population synthesis and all measurement noise.
 	Seed uint64
+	// Workers sizes the campaign scheduler pool surveying hosts
+	// concurrently (0 = the scheduler default). Each host's scenario is
+	// hermetic, so concurrency never changes the report.
+	Workers int
 }
 
 // DefaultSurvey mirrors the paper's shape at a tractable number of rounds.
@@ -280,12 +286,21 @@ func driftFn(amp float64, period time.Duration, phase float64) func(sim.Time) fl
 }
 
 // RunSurvey executes E2 (Fig 5 CDF), collecting the series E4 needs and the
-// E6 exclusion counts along the way.
+// E6 exclusion counts along the way. Hosts are surveyed concurrently by the
+// campaign scheduler; because every host's scenario is self-contained and
+// seeded during synthesis, the report is identical at any worker count.
 func RunSurvey(cfg SurveyConfig) *SurveyReport {
 	rep := &SurveyReport{Config: cfg}
-	for _, sh := range synthesizePopulation(cfg) {
-		rep.Hosts = append(rep.Hosts, surveyOneHost(sh, cfg))
-	}
+	hosts := synthesizePopulation(cfg)
+	recs := make([]*HostRecord, len(hosts))
+	sched := campaign.NewScheduler(campaign.SchedulerConfig{Workers: cfg.Workers})
+	// Each job writes only its own slot, so no locking is needed; a nil
+	// emit skips the in-order delivery machinery.
+	_ = sched.Run(0, len(hosts), func(worker, i, attempt int) error {
+		recs[i] = surveyOneHost(hosts[i], cfg)
+		return nil
+	}, nil)
+	rep.Hosts = recs
 	sort.Slice(rep.Hosts, func(i, j int) bool { return rep.Hosts[i].Name < rep.Hosts[j].Name })
 	return rep
 }

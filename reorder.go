@@ -23,6 +23,7 @@
 package reorder
 
 import (
+	"reorder/internal/campaign"
 	"reorder/internal/core"
 	"reorder/internal/host"
 	"reorder/internal/netem"
@@ -123,4 +124,56 @@ var (
 	SpecStack    = host.SpecStack
 	DualRSTStack = host.DualRSTStack
 	HostCatalog  = host.Catalog
+)
+
+// Campaign orchestration (internal/campaign): concurrent measurement
+// campaigns over thousands of targets with streaming sinks and
+// checkpoint/resume — the production-scale generalization of the §IV-B
+// survey.
+type (
+	// CampaignConfig parameterizes a campaign run.
+	CampaignConfig = campaign.Config
+	// CampaignTarget is one unit of campaign work.
+	CampaignTarget = campaign.Target
+	// CampaignResult is the streamed per-target record.
+	CampaignResult = campaign.TargetResult
+	// CampaignSummary is the merged outcome of a campaign.
+	CampaignSummary = campaign.Summary
+	// CampaignEnumSpec describes a cross-product target enumeration.
+	CampaignEnumSpec = campaign.EnumSpec
+	// CampaignImpairment is a named, seedable path condition.
+	CampaignImpairment = campaign.Impairment
+	// Scheduler is the bounded worker pool with retry/backoff, rate
+	// limiting and in-order completion delivery.
+	Scheduler = campaign.Scheduler
+	// SchedulerConfig tunes the worker pool.
+	SchedulerConfig = campaign.SchedulerConfig
+	// Aggregator folds per-target results via lock-free per-worker shards.
+	Aggregator = campaign.Aggregator
+	// Sink is a streaming consumer of per-target campaign results.
+	Sink = campaign.Sink
+	// JSONLSink streams results as one JSON object per line.
+	JSONLSink = campaign.JSONLSink
+	// CSVSink streams results as CSV rows.
+	CSVSink = campaign.CSVSink
+	// CampaignCheckpoint records durable campaign progress.
+	CampaignCheckpoint = campaign.Checkpoint
+)
+
+// Campaign entry points.
+var (
+	// RunCampaign executes a campaign and returns the merged summary.
+	RunCampaign = campaign.Run
+	// EnumerateTargets expands a cross product into a target list.
+	EnumerateTargets = campaign.Enumerate
+	// LoadTargets parses a targets file.
+	LoadTargets = campaign.LoadTargets
+	// ProbeCampaignTarget runs one target's measurement hermetically.
+	ProbeCampaignTarget = campaign.ProbeTarget
+	// NewScheduler returns a configured worker pool.
+	NewScheduler = campaign.NewScheduler
+	// CampaignProfiles lists the enumerable host profile names.
+	CampaignProfiles = campaign.Profiles
+	// CampaignImpairments lists the named path impairments.
+	CampaignImpairments = campaign.Impairments
 )
