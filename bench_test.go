@@ -7,6 +7,8 @@
 package reorder_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -317,6 +319,70 @@ func BenchmarkCampaignProbe(b *testing.B) {
 		if res := campaign.ProbeTarget(tg, 8, 0); res.Err != "" {
 			b.Fatal(res.Err)
 		}
+	}
+}
+
+// syntheticResults builds n deterministic TargetResults without probing,
+// so the aggregator benchmark isolates aggregation cost from probe cost.
+func syntheticResults(n int) []*campaign.TargetResult {
+	tests := []string{"single", "dual", "syn", "transfer"}
+	results := make([]*campaign.TargetResult, n)
+	for i := range results {
+		// A cheap LCG keeps the stream deterministic and allocation-free.
+		rng := uint64(i)*6364136223846793005 + 1442695040888963407
+		draw := func(mod uint64) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return int((rng >> 33) % mod)
+		}
+		r := &campaign.TargetResult{
+			Index: i, Name: "synthetic", Profile: "freebsd4", Impairment: "clean",
+			Test: tests[i%len(tests)], Attempts: 1,
+			FwdValid: 8, FwdReordered: draw(9), RevValid: 8, RevReordered: draw(9),
+			RTTMicros: int64(500 + draw(200000)),
+		}
+		r.FwdRate = float64(r.FwdReordered) / 8
+		r.RevRate = float64(r.RevReordered) / 8
+		r.AnyReordering = r.FwdReordered+r.RevReordered > 0
+		if r.Test == "transfer" {
+			r.SeqReceived = 20
+			r.SeqMaxExtent = draw(12)
+			r.SeqNReordering = draw(4)
+			r.SeqDupthreshExposure = float64(r.SeqNReordering) / 20
+		}
+		results[i] = r
+	}
+	return results
+}
+
+// BenchmarkCampaignAggregator measures aggregation memory at scale: per-
+// target allocated bytes must stay flat from 10k to 100k targets, the
+// constant-memory contract of the histogram shards (the former raw sample
+// pools grew 8+ bytes per target per pooled statistic).
+func BenchmarkCampaignAggregator(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("targets-%d", n), func(b *testing.B) {
+			results := syntheticResults(n)
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sum *campaign.Summary
+			for i := 0; i < b.N; i++ {
+				agg := campaign.NewAggregator(16)
+				for j, r := range results {
+					agg.Shard(j % 16).Add(r)
+				}
+				sum = agg.Summary()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(n*b.N), "B/target")
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "targets/s")
+			if sum.Targets != n {
+				b.Fatalf("summary covered %d targets, want %d", sum.Targets, n)
+			}
+		})
 	}
 }
 

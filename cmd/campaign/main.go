@@ -24,25 +24,27 @@ func main() { cli.Main(run) }
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	var (
-		profiles    = fs.String("profiles", "", "comma-separated host profiles (default: all)")
-		impairments = fs.String("impairments", "", "comma-separated path impairments (default: all)")
-		tests       = fs.String("tests", "", "comma-separated techniques (default: single,dual,syn,transfer)")
-		seeds       = fs.Int("seeds", 0, "seed replicas per profile×impairment×test combination (0 = auto: 7, or 2 with -quick)")
-		baseSeed    = fs.Uint64("seed", 719, "base seed; fixes every scenario draw in the campaign")
-		targetsPath = fs.String("targets", "", "targets file (profile impairment test seed per line); overrides enumeration")
-		samples     = fs.Int("samples", 8, "samples per measurement")
-		workers     = fs.Int("workers", 16, "concurrent probe workers")
-		retries     = fs.Int("retries", 1, "extra attempts for a failed target")
-		backoff     = fs.Duration("backoff", 50*time.Millisecond, "delay before first retry (doubles per attempt)")
-		rate        = fs.Float64("rate", 0, "max probe launches per second (0 = unlimited)")
-		out         = fs.String("out", "", "stream per-target results as JSONL to this path")
-		csvPath     = fs.String("csv", "", "stream per-target results as CSV to this path")
-		ckpt        = fs.String("checkpoint", "", "checkpoint file enabling -resume")
-		resume      = fs.Bool("resume", false, "resume an interrupted campaign from -checkpoint")
-		stopAfter   = fs.Int("stop-after", 0, "stop cleanly after this many results (0 = run to completion)")
-		listTargets = fs.Bool("list-targets", false, "print the enumerated target list and exit")
-		progress    = fs.Bool("progress", false, "print progress to stderr")
-		quick       = fs.Bool("quick", false, "small campaign (2 seeds, single+syn) for smoke runs")
+		profiles     = fs.String("profiles", "", "comma-separated host profiles (default: all)")
+		impairments  = fs.String("impairments", "", "comma-separated path impairments (default: all)")
+		tests        = fs.String("tests", "", "comma-separated techniques (default: single,dual,syn,transfer)")
+		seeds        = fs.Int("seeds", 0, "seed replicas per profile×impairment×test combination (0 = auto: 7, or 2 with -quick)")
+		baseSeed     = fs.Uint64("seed", 719, "base seed; fixes every scenario draw in the campaign")
+		targetsPath  = fs.String("targets", "", "targets file (profile impairment test seed per line); overrides enumeration")
+		samples      = fs.Int("samples", 8, "samples per measurement")
+		workers      = fs.Int("workers", 16, "concurrent probe workers")
+		retries      = fs.Int("retries", 1, "extra attempts for a failed target")
+		backoff      = fs.Duration("backoff", 50*time.Millisecond, "delay before first retry (doubles per attempt)")
+		rate         = fs.Float64("rate", 0, "max probe launches per second (0 = unlimited)")
+		window       = fs.Int("window", 0, "max targets dispatched ahead of the in-order emit frontier; bounds re-sequencing memory (0 = max(4×workers, 64))")
+		out          = fs.String("out", "", "stream per-target results as JSONL to this path")
+		csvPath      = fs.String("csv", "", "stream per-target results as CSV to this path")
+		ckpt         = fs.String("checkpoint", "", "checkpoint file enabling -resume")
+		resume       = fs.Bool("resume", false, "resume an interrupted campaign from -checkpoint")
+		forceRestart = fs.Bool("force-restart", false, "archive existing -out/-csv/-checkpoint files (to <path>.oldN) and start fresh; the escape hatch when -resume refuses a changed config")
+		stopAfter    = fs.Int("stop-after", 0, "stop cleanly after this many results (0 = run to completion)")
+		listTargets  = fs.Bool("list-targets", false, "print the enumerated target list and exit")
+		progress     = fs.Bool("progress", false, "print progress to stderr")
+		quick        = fs.Bool("quick", false, "small campaign (2 seeds, single+syn) for smoke runs")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -88,6 +90,24 @@ func run(args []string, stdout io.Writer) error {
 		return campaign.WriteTargets(stdout, targets)
 	}
 
+	if *forceRestart {
+		if *resume {
+			return fmt.Errorf("campaign: -force-restart and -resume are mutually exclusive (restart archives the old state; resume continues it)")
+		}
+		for _, p := range []string{*ckpt, *out, *csvPath} {
+			if p == "" {
+				continue
+			}
+			archived, err := archiveFile(p)
+			if err != nil {
+				return err
+			}
+			if archived != "" {
+				fmt.Fprintf(os.Stderr, "campaign: archived %s -> %s\n", p, archived)
+			}
+		}
+	}
+
 	cfg := campaign.Config{
 		Targets:        targets,
 		Samples:        *samples,
@@ -95,6 +115,7 @@ func run(args []string, stdout io.Writer) error {
 		Retries:        *retries,
 		Backoff:        *backoff,
 		RatePerSec:     *rate,
+		Window:         *window,
 		OutputPath:     *out,
 		CSVPath:        *csvPath,
 		CheckpointPath: *ckpt,
@@ -121,6 +142,25 @@ func run(args []string, stdout io.Writer) error {
 		sum.Targets, elapsed.Round(time.Millisecond), float64(sum.Targets)/elapsed.Seconds(), cfg.Workers)
 	sum.WriteText(stdout)
 	return nil
+}
+
+// archiveFile moves path aside to the first free <path>.oldN name, so a
+// forced restart preserves the previous campaign's output instead of
+// truncating it. It returns the archive name, or "" if path did not exist.
+func archiveFile(path string) (string, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return "", nil
+	} else if err != nil {
+		return "", err
+	}
+	for n := 1; ; n++ {
+		cand := fmt.Sprintf("%s.old%d", path, n)
+		if _, err := os.Stat(cand); os.IsNotExist(err) {
+			return cand, os.Rename(path, cand)
+		} else if err != nil {
+			return "", err
+		}
+	}
 }
 
 func splitList(s string) []string {

@@ -66,6 +66,75 @@ func TestRunListTargets(t *testing.T) {
 	}
 }
 
+// TestRunForceRestart exercises the escape hatch for a changed config:
+// -resume refuses on the fingerprint mismatch, -force-restart archives the
+// old output and checkpoint instead of truncating them and runs fresh.
+func TestRunForceRestart(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.jsonl")
+	csv := filepath.Join(dir, "out.csv")
+	ckpt := filepath.Join(dir, "camp.ckpt")
+	base := []string{
+		"-samples", "4", "-workers", "8",
+		"-profiles", "freebsd4", "-impairments", "clean", "-tests", "syn",
+		"-out", out, "-csv", csv, "-checkpoint", ckpt,
+	}
+
+	if err := run(append([]string{"-seeds", "2"}, base...), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	oldJSONL, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A config change (different seed count) dead-ends -resume on the
+	// fingerprint refusal...
+	err = run(append([]string{"-seeds", "3", "-resume"}, base...), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "different campaign") {
+		t.Fatalf("changed config not refused by -resume: %v", err)
+	}
+	// ...and -force-restart with -resume is an error, not a silent pick.
+	err = run(append([]string{"-seeds", "3", "-resume", "-force-restart"}, base...), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-force-restart -resume accepted: %v", err)
+	}
+
+	// -force-restart archives and reruns.
+	var buf bytes.Buffer
+	if err := run(append([]string{"-seeds", "3", "-force-restart"}, base...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	archived, err := os.ReadFile(out + ".old1")
+	if err != nil {
+		t.Fatalf("old output not archived: %v", err)
+	}
+	if !bytes.Equal(archived, oldJSONL) {
+		t.Fatal("archived output differs from the original")
+	}
+	for _, p := range []string{csv + ".old1", ckpt + ".old1"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("%s not archived: %v", p, err)
+		}
+	}
+	newJSONL, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 profile × 1 impairment × 1 test × 3 seeds = 3 fresh records.
+	if got := bytes.Count(newJSONL, []byte("\n")); got != 3 {
+		t.Fatalf("fresh JSONL has %d records, want 3", got)
+	}
+
+	// A second forced restart picks the next free archive suffix.
+	if err := run(append([]string{"-seeds", "3", "-force-restart"}, base...), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out + ".old2"); err != nil {
+		t.Fatalf("second archive missing: %v", err)
+	}
+}
+
 // TestRunBadFlags checks argument validation surfaces as errors.
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-profiles", "bogus"}, &bytes.Buffer{}); err == nil {

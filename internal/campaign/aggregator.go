@@ -10,9 +10,13 @@ import (
 
 // Aggregator folds per-target results into campaign statistics without
 // cross-worker synchronization: each worker owns one shard exclusively and
-// adds to it lock-free; shards are merged once, at Summary time. The merge
-// sorts every pooled sample slice before reducing, so the summary is
-// bit-identical no matter how targets were interleaved across shards.
+// adds to it lock-free; shards are merged once, at Summary time. Shards
+// hold fixed-bin streaming histograms rather than raw sample pools, so
+// campaign memory is constant in the target count — a million-target
+// campaign costs the same few kilobytes per shard as a thousand-target
+// one. Every merged statistic derives from integer bin counts plus exact
+// running min/max, which makes the summary bit-identical no matter how
+// targets were interleaved across shards.
 type Aggregator struct {
 	shards []*Shard
 }
@@ -34,6 +38,15 @@ func NewAggregator(workers int) *Aggregator {
 // each worker its own index.
 func (a *Aggregator) Shard(w int) *Shard { return a.shards[w%len(a.shards)] }
 
+// Histogram bin layouts. Rates and exposures live in [0,1]; 256 bins give
+// ~0.4% quantile resolution. RTTs are scale-free, so geometric bins hold
+// constant relative resolution from 1µs to 1000s. Extents are small
+// integers; unit-width bins up to 128 resolve them exactly (deeper
+// reordering clamps into the last bin).
+func rateEdges() []float64   { return stats.UniformEdges(0, 1, 256) }
+func rttEdges() []float64    { return stats.LogEdges(1, 1e9, 288) }
+func extentEdges() []float64 { return stats.UniformEdges(0, 128, 128) }
+
 // Shard accumulates results for one worker. Not safe for sharing.
 type Shard struct {
 	targets, errors, measured, excluded int
@@ -42,17 +55,37 @@ type Shard struct {
 	dctExcluded                         map[string]int
 	perTest                             map[string]*testShard
 
-	pathRates []float64
-	rtts      []float64
+	pathRates *stats.Histogram
+	rtts      *stats.Histogram
+	// extents and exposure hold the transfer test's RFC 4737 sequence
+	// statistics: per-target maximum reordering extent and the fraction of
+	// packets 3-reordered (the classic-dupthresh spurious-retransmit
+	// exposure).
+	extents  *stats.Histogram
+	exposure *stats.Histogram
 }
 
 type testShard struct {
 	measured, errors, excluded, withReordering int
-	fwdRates, revRates                         []float64
+	fwdRates, revRates                         *stats.Histogram
 }
 
 func newShard() *Shard {
-	return &Shard{dctExcluded: map[string]int{}, perTest: map[string]*testShard{}}
+	return &Shard{
+		dctExcluded: map[string]int{},
+		perTest:     map[string]*testShard{},
+		pathRates:   stats.NewHistogram(rateEdges()),
+		rtts:        stats.NewHistogram(rttEdges()),
+		extents:     stats.NewHistogram(extentEdges()),
+		exposure:    stats.NewHistogram(rateEdges()),
+	}
+}
+
+func newTestShard() *testShard {
+	return &testShard{
+		fwdRates: stats.NewHistogram(rateEdges()),
+		revRates: stats.NewHistogram(rateEdges()),
+	}
 }
 
 // Add folds one result in. It is a pure function of the result's fields,
@@ -65,7 +98,7 @@ func (s *Shard) Add(r *TargetResult) {
 	}
 	ts := s.perTest[r.Test]
 	if ts == nil {
-		ts = &testShard{}
+		ts = newTestShard()
 		s.perTest[r.Test] = ts
 	}
 	switch {
@@ -86,16 +119,20 @@ func (s *Shard) Add(r *TargetResult) {
 		ts.withReordering++
 	}
 	if r.FwdValid > 0 {
-		ts.fwdRates = append(ts.fwdRates, r.FwdRate)
+		ts.fwdRates.Add(r.FwdRate)
 	}
 	if r.RevValid > 0 {
-		ts.revRates = append(ts.revRates, r.RevRate)
+		ts.revRates.Add(r.RevRate)
 	}
 	if rate, ok := r.PathRate(); ok {
-		s.pathRates = append(s.pathRates, rate)
+		s.pathRates.Add(rate)
 	}
 	if r.RTTMicros > 0 {
-		s.rtts = append(s.rtts, float64(r.RTTMicros))
+		s.rtts.Add(float64(r.RTTMicros))
+	}
+	if r.SeqReceived > 0 {
+		s.extents.Add(float64(r.SeqMaxExtent))
+		s.exposure.Add(r.SeqDupthreshExposure)
 	}
 }
 
@@ -118,6 +155,14 @@ type Summary struct {
 	// RTTMicros summarizes mean per-target RTTs, in microseconds.
 	RTTMicros RateSummary
 
+	// SeqMaxExtents summarizes the per-target maximum RFC 4737 reordering
+	// extent over targets whose transfer test observed a data sequence.
+	SeqMaxExtents RateSummary
+	// DupthreshExposure summarizes the per-target fraction of transfer
+	// packets 3-reordered — the share a classic dupthresh-3 TCP sender
+	// would misread as loss.
+	DupthreshExposure RateSummary
+
 	// Tests holds the per-technique breakdown, sorted by test name.
 	Tests []TestSummary
 }
@@ -130,24 +175,24 @@ type TestSummary struct {
 	Fwd, Rev                   RateSummary
 }
 
-// RateSummary reduces a pooled sample set: moments plus the quantiles a
-// Fig 5-style CDF reading would want.
+// RateSummary reduces a streamed sample set: moments plus the quantiles a
+// Fig 5-style CDF reading would want. N, Min and Max are exact; Mean and
+// the quantiles are histogram-derived, accurate to within one bin width
+// (see the bin layouts above).
 type RateSummary struct {
 	N              int
 	Mean, Min, Max float64
 	P50, P90, P99  float64
 }
 
-// summarizeSorted reduces an already-sorted slice.
-func summarizeSorted(xs []float64) RateSummary {
-	if len(xs) == 0 {
+// summarizeHistogram reduces a merged histogram.
+func summarizeHistogram(h *stats.Histogram) RateSummary {
+	if h.Count() == 0 {
 		return RateSummary{}
 	}
-	sm := stats.Summarize(xs)
-	cdf := stats.NewCDF(xs)
 	return RateSummary{
-		N: sm.N, Mean: sm.Mean, Min: sm.Min, Max: sm.Max,
-		P50: cdf.Quantile(0.50), P90: cdf.Quantile(0.90), P99: cdf.Quantile(0.99),
+		N: h.Count(), Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
 	}
 }
 
@@ -159,15 +204,18 @@ func (s *Summary) FractionWithReordering() float64 {
 	return float64(s.WithReordering) / float64(s.Measured)
 }
 
-// Summary merges all shards. Integer counts commute; sample pools are
-// concatenated and sorted before reduction so that float summation order —
-// and therefore every derived statistic — is independent of how the
-// scheduler happened to spread targets over workers.
+// Summary merges all shards. Integer counts commute, and the histograms
+// merge by adding integer bin counts, so every derived statistic is
+// independent of how the scheduler happened to spread targets over
+// workers — without ever materializing an O(targets) pool.
 func (a *Aggregator) Summary() *Summary {
 	out := &Summary{DCTExcluded: map[string]int{}}
-	var pathRates, rtts []float64
-	tests := map[string]*TestSummary{}
-	var testPools = map[string]*struct{ fwd, rev []float64 }{}
+	merged := newShard()
+	type testPool struct {
+		sum *TestSummary
+		ts  *testShard
+	}
+	tests := map[string]*testPool{}
 	for _, sh := range a.shards {
 		out.Targets += sh.targets
 		out.Measured += sh.measured
@@ -178,34 +226,32 @@ func (a *Aggregator) Summary() *Summary {
 		for k, v := range sh.dctExcluded {
 			out.DCTExcluded[k] += v
 		}
-		pathRates = append(pathRates, sh.pathRates...)
-		rtts = append(rtts, sh.rtts...)
+		merged.pathRates.Merge(sh.pathRates)
+		merged.rtts.Merge(sh.rtts)
+		merged.extents.Merge(sh.extents)
+		merged.exposure.Merge(sh.exposure)
 		for name, ts := range sh.perTest {
-			t := tests[name]
-			if t == nil {
-				t = &TestSummary{Test: name}
-				tests[name] = t
-				testPools[name] = &struct{ fwd, rev []float64 }{}
+			p := tests[name]
+			if p == nil {
+				p = &testPool{sum: &TestSummary{Test: name}, ts: newTestShard()}
+				tests[name] = p
 			}
-			t.Measured += ts.measured
-			t.Errors += ts.errors
-			t.Excluded += ts.excluded
-			t.WithReordering += ts.withReordering
-			testPools[name].fwd = append(testPools[name].fwd, ts.fwdRates...)
-			testPools[name].rev = append(testPools[name].rev, ts.revRates...)
+			p.sum.Measured += ts.measured
+			p.sum.Errors += ts.errors
+			p.sum.Excluded += ts.excluded
+			p.sum.WithReordering += ts.withReordering
+			p.ts.fwdRates.Merge(ts.fwdRates)
+			p.ts.revRates.Merge(ts.revRates)
 		}
 	}
-	sort.Float64s(pathRates)
-	sort.Float64s(rtts)
-	out.PathRates = summarizeSorted(pathRates)
-	out.RTTMicros = summarizeSorted(rtts)
-	for name, t := range tests {
-		p := testPools[name]
-		sort.Float64s(p.fwd)
-		sort.Float64s(p.rev)
-		t.Fwd = summarizeSorted(p.fwd)
-		t.Rev = summarizeSorted(p.rev)
-		out.Tests = append(out.Tests, *t)
+	out.PathRates = summarizeHistogram(merged.pathRates)
+	out.RTTMicros = summarizeHistogram(merged.rtts)
+	out.SeqMaxExtents = summarizeHistogram(merged.extents)
+	out.DupthreshExposure = summarizeHistogram(merged.exposure)
+	for _, p := range tests {
+		p.sum.Fwd = summarizeHistogram(p.ts.fwdRates)
+		p.sum.Rev = summarizeHistogram(p.ts.revRates)
+		out.Tests = append(out.Tests, *p.sum)
 	}
 	sort.Slice(out.Tests, func(i, j int) bool { return out.Tests[i].Test < out.Tests[j].Test })
 	return out
@@ -235,6 +281,13 @@ func (s *Summary) WriteText(w io.Writer) {
 		s.PathRates.Mean, s.PathRates.P50, s.PathRates.P90, s.PathRates.P99, s.PathRates.Max, s.PathRates.N)
 	fmt.Fprintf(w, "rtt: mean=%.0fus p50=%.0fus p99=%.0fus\n",
 		s.RTTMicros.Mean, s.RTTMicros.P50, s.RTTMicros.P99)
+	if s.SeqMaxExtents.N > 0 {
+		fmt.Fprintf(w, "rfc4737 max reordering extent (transfer): p50=%.1f p90=%.1f p99=%.1f max=%.0f (n=%d)\n",
+			s.SeqMaxExtents.P50, s.SeqMaxExtents.P90, s.SeqMaxExtents.P99, s.SeqMaxExtents.Max, s.SeqMaxExtents.N)
+		fmt.Fprintf(w, "dupthresh-3 exposure (transfer): mean=%.4f p50=%.4f p90=%.4f p99=%.4f (n=%d)\n",
+			s.DupthreshExposure.Mean, s.DupthreshExposure.P50, s.DupthreshExposure.P90,
+			s.DupthreshExposure.P99, s.DupthreshExposure.N)
+	}
 	fmt.Fprintf(w, "%-10s %8s %6s %6s %8s %10s %10s %10s %10s\n",
 		"test", "measured", "excl", "errs", "reorder", "fwd-mean", "fwd-p99", "rev-mean", "rev-p99")
 	for _, t := range s.Tests {

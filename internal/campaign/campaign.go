@@ -56,6 +56,11 @@ type Config struct {
 	RatePerSec float64
 	// Burst is the token-bucket capacity (default Workers).
 	Burst int
+	// Window bounds how far dispatch may run ahead of the in-order emit
+	// frontier (default max(4×Workers, 64)): it caps the re-sequencing
+	// buffer when one slow target holds the frontier, trading sink
+	// latency for memory.
+	Window int
 
 	// OutputPath, when set, streams per-target results as JSONL. It is
 	// also the replay source when resuming from a checkpoint.
@@ -94,6 +99,18 @@ func (c Config) defaults() Config {
 	return c
 }
 
+// schedulerConfig maps the campaign-level knobs onto the worker pool.
+func (c Config) schedulerConfig() SchedulerConfig {
+	return SchedulerConfig{
+		Workers:    c.Workers,
+		Retries:    c.Retries,
+		Backoff:    c.Backoff,
+		RatePerSec: c.RatePerSec,
+		Burst:      c.Burst,
+		Window:     c.Window,
+	}
+}
+
 // Run executes the campaign and returns the merged summary. The summary
 // and all sink output are deterministic functions of the target list and
 // sample count; worker count, rate limits and interruptions (with resume)
@@ -103,13 +120,7 @@ func Run(cfg Config) (*Summary, error) {
 	if len(cfg.Targets) == 0 {
 		return nil, fmt.Errorf("campaign: no targets")
 	}
-	sched := NewScheduler(SchedulerConfig{
-		Workers:    cfg.Workers,
-		Retries:    cfg.Retries,
-		Backoff:    cfg.Backoff,
-		RatePerSec: cfg.RatePerSec,
-		Burst:      cfg.Burst,
-	})
+	sched := NewScheduler(cfg.schedulerConfig())
 	agg := NewAggregator(sched.Workers())
 
 	fp := Fingerprint(cfg.Targets, cfg.Samples)

@@ -2,11 +2,15 @@ package campaign
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"reorder/internal/stats"
 )
 
 // smallSpec is a cheap cross product used throughout the tests.
@@ -232,6 +236,122 @@ func TestCampaignResume(t *testing.T) {
 	}
 }
 
+// TestCampaignResumeStopAfterWindows splits one campaign into three
+// StopAfter windows chained by checkpoint/resume: the final JSONL, CSV and
+// (histogram-based) summary must be byte- and value-identical to an
+// uninterrupted run's.
+func TestCampaignResumeStopAfterWindows(t *testing.T) {
+	fullDir := t.TempDir()
+	full, fullJSONL := runCampaign(t, fullDir, 8, func(c *Config) {
+		c.CSVPath = filepath.Join(fullDir, "out.csv")
+	})
+	fullCSV, err := os.ReadFile(filepath.Join(fullDir, "out.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	csv := filepath.Join(dir, "out.csv")
+	var sum *Summary
+	var jsonl []byte
+	// Three windows over the 24 targets: 9 + 9 + the remaining 6.
+	for i, window := range []int{9, 9, 0} {
+		sum, jsonl = runCampaign(t, dir, 8, func(c *Config) {
+			c.CSVPath = csv
+			c.CheckpointPath = ckpt
+			c.Resume = i > 0
+			c.StopAfter = window
+		})
+	}
+	if !bytes.Equal(fullJSONL, jsonl) {
+		t.Fatal("three-window JSONL differs from uninterrupted run")
+	}
+	gotCSV, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullCSV, gotCSV) {
+		t.Fatal("three-window CSV differs from uninterrupted run")
+	}
+	if !reflect.DeepEqual(full, sum) {
+		t.Fatalf("three-window summary differs from uninterrupted run:\n%+v\n%+v", full, sum)
+	}
+}
+
+// TestReplayOutputLongRecord guards the resume path against records longer
+// than any scanner buffer: a multi-megabyte JSONL line must replay, and a
+// corrupt record must be reported by index.
+func TestReplayOutputLongRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	huge := &TargetResult{Index: 0, Name: strings.Repeat("x", 2<<20), Test: "single", Attempts: 1}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewJSONLSink(f)
+	if err := sink.Emit(huge); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Emit(&TargetResult{Index: 1, Name: "small", Test: "single", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayOutput(path, 2)
+	if err != nil {
+		t.Fatalf("replay of >1MiB record failed: %v", err)
+	}
+	if len(got) != 2 || len(got[0].Name) != 2<<20 || got[1].Name != "small" {
+		t.Fatal("long-record replay corrupted the results")
+	}
+
+	// A corrupt record reports its index.
+	if err := os.WriteFile(path, []byte("{\"index\":0,\"attempts\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = replayOutput(path, 2)
+	if err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Fatalf("corrupt record not reported by index: %v", err)
+	}
+}
+
+// TestReplayOutputUnterminatedTail checks that a partial final line — a
+// crash mid-write, never acknowledged by a checkpoint — is truncated and
+// re-probed rather than replayed or fatal.
+func TestReplayOutputUnterminatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	content := []byte("{\"index\":0,\"attempts\":1}\n{\"index\":1,\"atte")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayOutput(path, 2); err == nil {
+		t.Fatal("checkpoint claiming more records than terminated lines not rejected")
+	}
+	// Restore (replayOutput may have truncated) and replay just the intact
+	// prefix: the partial tail must be dropped from the file.
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := replayOutput(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Index != 0 {
+		t.Fatalf("prefix replay wrong: %+v", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"index\":0,\"attempts\":1}\n" {
+		t.Fatalf("partial tail not truncated: %q", data)
+	}
+}
+
 // TestCampaignResumeTruncatesUnacknowledged simulates a crash where the
 // output ran ahead of the checkpoint: extra records past the checkpoint
 // must be dropped and re-probed to the same bytes.
@@ -394,6 +514,146 @@ func TestAggregatorShardingInvariance(t *testing.T) {
 	}
 	if !reflect.DeepEqual(one.Summary(), many.Summary()) {
 		t.Fatal("shard layout changed the summary")
+	}
+}
+
+// TestSummaryQuantilesMatchRawPool is the histogram-resolution acceptance
+// contract on the full deterministic 2016-target campaign: every summary
+// quantile must agree with the quantile of the raw per-target sample pool
+// (what the aggregator used to hold in memory) to within one bin width.
+func TestSummaryQuantilesMatchRawPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2016-target campaign")
+	}
+	targets, err := Enumerate(EnumSpec{Seeds: 7, BaseSeed: 719})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2016 {
+		t.Fatalf("default enumeration is %d targets, want 2016", len(targets))
+	}
+	var pathRates, rtts, exposures []float64
+	sum, err := Run(Config{
+		Targets: targets,
+		Samples: 8,
+		Workers: 16,
+		Sinks: []Sink{FuncSink(func(r *TargetResult) error {
+			if r.Err != "" || r.DCTExcluded != "" {
+				return nil
+			}
+			if rate, ok := r.PathRate(); ok {
+				pathRates = append(pathRates, rate)
+			}
+			if r.RTTMicros > 0 {
+				rtts = append(rtts, float64(r.RTTMicros))
+			}
+			if r.SeqReceived > 0 {
+				exposures = append(exposures, r.SeqDupthreshExposure)
+			}
+			return nil
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, got RateSummary, raw []float64, binWidth func(x float64) float64) {
+		t.Helper()
+		if got.N != len(raw) {
+			t.Fatalf("%s: N = %d, raw pool has %d", name, got.N, len(raw))
+		}
+		if len(raw) == 0 {
+			return
+		}
+		cdf := stats.NewCDF(raw)
+		for _, q := range []struct {
+			p    float64
+			got  float64
+			name string
+		}{{0.50, got.P50, "p50"}, {0.90, got.P90, "p90"}, {0.99, got.P99, "p99"}} {
+			rawQ := cdf.Quantile(q.p)
+			if diff := math.Abs(q.got - rawQ); diff > binWidth(rawQ) {
+				t.Errorf("%s %s: histogram %v vs raw %v, off by %v > bin width %v",
+					name, q.name, q.got, rawQ, diff, binWidth(rawQ))
+			}
+		}
+		rawSum := stats.Summarize(raw)
+		if got.Min != rawSum.Min || got.Max != rawSum.Max {
+			t.Errorf("%s: min/max %v/%v not exact vs raw %v/%v", name, got.Min, got.Max, rawSum.Min, rawSum.Max)
+		}
+	}
+	rateBin := func(x float64) float64 { return 1.0 / 256 }
+	check("path-rates", sum.PathRates, pathRates, rateBin)
+	check("dupthresh-exposure", sum.DupthreshExposure, exposures, rateBin)
+	check("rtt", sum.RTTMicros, rtts, func(x float64) float64 {
+		h := stats.NewHistogram(stats.LogEdges(1, 1e9, 288))
+		return h.BinWidth(x)
+	})
+	if sum.PathRates.N == 0 || sum.RTTMicros.N == 0 || sum.DupthreshExposure.N == 0 {
+		t.Fatalf("empty pools: %+v", sum)
+	}
+}
+
+// TestAggregatorSequenceMetrics checks the RFC 4737 fields flow from a
+// transfer probe through the aggregator into the summary.
+func TestAggregatorSequenceMetrics(t *testing.T) {
+	agg := NewAggregator(2)
+	// Synthetic transfer results: one deeply reordered, one clean.
+	agg.Shard(0).Add(&TargetResult{
+		Test: "transfer", Attempts: 1, FwdValid: 10, FwdReordered: 4, FwdRate: 0.4,
+		AnyReordering: true, RTTMicros: 1500,
+		SeqReceived: 20, SeqMaxExtent: 7, SeqNReordering: 4, SeqDupthreshExposure: 0.2,
+	})
+	agg.Shard(1).Add(&TargetResult{
+		Test: "transfer", Attempts: 1, FwdValid: 10, FwdRate: 0,
+		RTTMicros: 900, SeqReceived: 20,
+	})
+	// A non-transfer result must not contribute to the sequence pools.
+	agg.Shard(0).Add(&TargetResult{
+		Test: "single", Attempts: 1, FwdValid: 8, FwdRate: 0.25, RTTMicros: 700,
+	})
+	sum := agg.Summary()
+	if sum.SeqMaxExtents.N != 2 || sum.DupthreshExposure.N != 2 {
+		t.Fatalf("sequence pools: %+v", sum)
+	}
+	if sum.SeqMaxExtents.Max != 7 || sum.SeqMaxExtents.Min != 0 {
+		t.Fatalf("extent min/max: %+v", sum.SeqMaxExtents)
+	}
+	if sum.DupthreshExposure.Max != 0.2 {
+		t.Fatalf("exposure max: %+v", sum.DupthreshExposure)
+	}
+	var buf bytes.Buffer
+	sum.WriteText(&buf)
+	if !strings.Contains(buf.String(), "rfc4737 max reordering extent") ||
+		!strings.Contains(buf.String(), "dupthresh-3 exposure") {
+		t.Fatalf("summary text missing sequence lines:\n%s", buf.String())
+	}
+}
+
+// TestCampaignWindowPlumbed checks every scheduler knob on Config —
+// Window in particular, which used to be unreachable — survives the
+// mapping into SchedulerConfig, and that a tightly windowed campaign
+// still completes with the standard output.
+func TestCampaignWindowPlumbed(t *testing.T) {
+	cfg := Config{
+		Workers: 3, Retries: 2, Backoff: 7 * time.Millisecond,
+		RatePerSec: 11, Burst: 5, Window: 13,
+	}
+	got := cfg.schedulerConfig()
+	want := SchedulerConfig{
+		Workers: 3, Retries: 2, Backoff: 7 * time.Millisecond,
+		RatePerSec: 11, Burst: 5, Window: 13,
+	}
+	if got != want {
+		t.Fatalf("schedulerConfig() = %+v, want %+v", got, want)
+	}
+
+	_, bytesDefault := runCampaign(t, t.TempDir(), 8, nil)
+	_, bytesWindowed := runCampaign(t, t.TempDir(), 8, func(c *Config) {
+		c.Window = 1 // clamped up to Workers by NewScheduler, but exercises the path
+	})
+	if !bytes.Equal(bytesDefault, bytesWindowed) {
+		t.Fatal("window size changed campaign output")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 )
 
@@ -20,10 +21,19 @@ type Checkpoint struct {
 	Done int `json:"done"`
 }
 
+// recordFormat is the TargetResult schema generation, folded into the
+// fingerprint: the JSONL record is append-only for readers, but a resume
+// replays old records as-is and appends new-format ones, which would break
+// the resumed-equals-uninterrupted byte-identity contract across versions.
+// Bump it whenever TargetResult gains fields; a cross-version resume is
+// then refused like any other config change (-force-restart is the escape
+// hatch).
+const recordFormat = 2
+
 // Fingerprint hashes the campaign's deterministic inputs.
 func Fingerprint(targets []Target, samples int) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "samples=%d\n", samples)
+	fmt.Fprintf(h, "format=%d\nsamples=%d\n", recordFormat, samples)
 	for _, t := range targets {
 		fmt.Fprintf(h, "%s|%s|%s|%d\n", t.Profile, t.Impairment, t.Test, t.Seed)
 	}
@@ -79,12 +89,26 @@ func replayOutput(path string, done int) ([]*TargetResult, error) {
 
 	results := make([]*TargetResult, 0, done)
 	var offset int64
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for len(results) < done && sc.Scan() {
-		line := sc.Bytes()
+	// bufio.Reader rather than a Scanner: a Scanner caps the line length
+	// (64 KiB default, whatever the buffer is configured to at most), and
+	// a resume must never fail permanently just because one record grew
+	// past an arbitrary cap.
+	br := bufio.NewReaderSize(f, 64*1024)
+	for len(results) < done {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// An unterminated tail can only be an unacknowledged partial
+			// write (a checkpoint is saved only after the sink flushed the
+			// trailing newline): leave it past offset to be truncated and
+			// re-probed.
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s record %d: %w", path, len(results), err)
+		}
+		rec := line[:len(line)-1]
 		r := &TargetResult{}
-		if err := json.Unmarshal(line, r); err != nil {
+		if err := json.Unmarshal(rec, r); err != nil {
 			return nil, fmt.Errorf("campaign: %s record %d: %w", path, len(results), err)
 		}
 		if r.Index != len(results) {
@@ -92,10 +116,7 @@ func replayOutput(path string, done int) ([]*TargetResult, error) {
 				path, len(results), r.Index)
 		}
 		results = append(results, r)
-		offset += int64(len(line)) + 1
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+		offset += int64(len(line))
 	}
 	if len(results) < done {
 		return nil, fmt.Errorf("campaign: %s has %d records but checkpoint says %d emitted",

@@ -41,6 +41,22 @@ type TargetResult struct {
 	// SeqRatio is the IPPM reordered-packet ratio of the transfer test's
 	// arrival sequence (transfer only).
 	SeqRatio float64 `json:"seq_ratio,omitempty"`
+
+	// SeqReceived is the number of data segments in the transfer test's
+	// arrival sequence; the RFC 4737 fields below are meaningful only when
+	// it is nonzero (transfer only, like SeqRatio).
+	SeqReceived int `json:"seq_received,omitempty"`
+	// SeqMaxExtent is the largest RFC 4737 §4.2.1 reordering extent in the
+	// arrival sequence: how far back, in arrival positions, the most
+	// displaced segment landed.
+	SeqMaxExtent int `json:"seq_max_extent,omitempty"`
+	// SeqNReordering is the count of 3-reordered segments (RFC 4737 §5.4
+	// n-reordering at n = 3, the classic TCP duplicate-ACK threshold).
+	SeqNReordering int `json:"seq_n_reordering,omitempty"`
+	// SeqDupthreshExposure is SeqNReordering over SeqReceived: the
+	// fraction of segments a dupthresh-3 sender would misread as loss and
+	// spuriously fast-retransmit.
+	SeqDupthreshExposure float64 `json:"seq_dupthresh_exposure,omitempty"`
 }
 
 // PathRate is the target's overall reordering rate: valid samples from
@@ -135,6 +151,12 @@ func ProbeTarget(t Target, samples int, attempt int) *TargetResult {
 	res.RTTMicros = out.MeanRTT().Microseconds()
 	if sm := out.SequenceMetrics(); sm != nil {
 		res.SeqRatio = sm.Ratio()
+		res.SeqReceived = sm.Received
+		res.SeqMaxExtent = sm.MaxExtent()
+		res.SeqNReordering = sm.NReordered(3)
+		if sm.Received > 0 {
+			res.SeqDupthreshExposure = float64(res.SeqNReordering) / float64(sm.Received)
+		}
 	}
 	return res
 }

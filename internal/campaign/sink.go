@@ -78,11 +78,14 @@ type CSVSink struct {
 }
 
 // csvHeader is the column set, aligned with TargetResult's JSON fields.
+// Like the JSONL record it is append-only: new columns go at the end so
+// old campaign outputs stay parseable by position.
 var csvHeader = []string{
 	"index", "name", "profile", "impairment", "test", "seed", "attempts",
 	"error", "dct_excluded", "fwd_valid", "fwd_reordered", "fwd_rate",
 	"rev_valid", "rev_reordered", "rev_rate", "any_reordering", "rtt_us",
-	"seq_ratio",
+	"seq_ratio", "seq_received", "seq_max_extent", "seq_n_reordering",
+	"seq_dupthresh_exposure",
 }
 
 // NewCSVSink wraps w. If w is an io.Closer it is closed by Close.
@@ -111,7 +114,9 @@ func (s *CSVSink) Emit(r *TargetResult) error {
 		strconv.Itoa(r.FwdValid), strconv.Itoa(r.FwdReordered), fmtFloat(r.FwdRate),
 		strconv.Itoa(r.RevValid), strconv.Itoa(r.RevReordered), fmtFloat(r.RevRate),
 		strconv.FormatBool(r.AnyReordering), strconv.FormatInt(r.RTTMicros, 10),
-		fmtFloat(r.SeqRatio),
+		fmtFloat(r.SeqRatio), strconv.Itoa(r.SeqReceived),
+		strconv.Itoa(r.SeqMaxExtent), strconv.Itoa(r.SeqNReordering),
+		fmtFloat(r.SeqDupthreshExposure),
 	})
 }
 

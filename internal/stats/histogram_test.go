@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"math/rand/v2"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 1, 10))
+	for _, x := range []float64{0, 0.05, 0.25, 0.25, 0.5, 0.95, 1.0} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// NaN ignored.
+	h.Add(math.NaN())
+	if h.Count() != 7 {
+		t.Fatal("NaN sample counted")
+	}
+	// Out-of-range samples clamp into the edge bins.
+	h.Add(-5)
+	h.Add(17)
+	if h.Count() != 9 {
+		t.Fatalf("Count = %d, want 9", h.Count())
+	}
+	if h.Min() != -5 || h.Max() != 17 {
+		t.Fatalf("clamped Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 1, 4))
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram moments not zero")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	if h.CDFPoints() != nil {
+		t.Fatal("empty histogram has CDF points")
+	}
+	if h.FractionAtMost(0.5) != 0 {
+		t.Fatal("empty histogram FractionAtMost != 0")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	// The all-one-value distribution (e.g. every clean path reporting rate
+	// zero) must stay exact: mean and every quantile are the value itself.
+	h := NewHistogram(UniformEdges(0, 1, 256))
+	for i := 0; i < 1000; i++ {
+		h.Add(0)
+	}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("all-zero histogram: mean=%v p50=%v p99=%v", h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	}
+}
+
+// TestHistogramQuantileWithinBin checks the resolution contract: the
+// interpolated quantile sits within one bin width of the raw-sample
+// quantile.
+func TestHistogramQuantileWithinBin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	edges := UniformEdges(0, 1, 128)
+	h := NewHistogram(edges)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64() * rng.Float64() // skewed toward zero, like rates
+		h.Add(xs[i])
+	}
+	c := NewCDF(xs)
+	binWidth := edges[1] - edges[0]
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		raw, got := c.Quantile(p), h.Quantile(p)
+		if math.Abs(raw-got) > binWidth {
+			t.Errorf("Quantile(%v) = %v, raw %v, off by more than bin width %v", p, got, raw, binWidth)
+		}
+	}
+	if math.Abs(c.Quantile(0)-h.Quantile(0)) > 1e-15 || math.Abs(c.Quantile(1)-h.Quantile(1)) > 1e-15 {
+		t.Error("extreme quantiles should be the exact min/max")
+	}
+}
+
+// TestHistogramMergeInvariance is the shard-layout contract: any split of
+// one sample stream over shards merges to a bit-identical histogram.
+func TestHistogramMergeInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	edges := LogEdges(1, 1e6, 96)
+	one := NewHistogram(edges)
+	shards := make([]*Histogram, 7)
+	for i := range shards {
+		shards[i] = NewHistogram(edges)
+	}
+	for i := 0; i < 3000; i++ {
+		x := math.Exp(rng.Float64() * 14)
+		one.Add(x)
+		shards[(13*i)%7].Add(x)
+	}
+	merged := NewHistogram(edges)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != one.Count() || merged.Min() != one.Min() || merged.Max() != one.Max() {
+		t.Fatal("merged moments differ from single-shard accumulation")
+	}
+	if merged.Mean() != one.Mean() {
+		t.Fatalf("merged mean %v != %v", merged.Mean(), one.Mean())
+	}
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if merged.Quantile(p) != one.Quantile(p) {
+			t.Fatalf("merged Quantile(%v) %v != %v", p, merged.Quantile(p), one.Quantile(p))
+		}
+	}
+}
+
+func TestHistogramMergeEmptyAndPanics(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 1, 4))
+	h.Add(0.5)
+	h.Merge(nil)
+	h.Merge(NewHistogram(UniformEdges(0, 1, 4))) // empty: no-op
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d after no-op merges", h.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched edges did not panic")
+		}
+	}()
+	o := NewHistogram(UniformEdges(0, 2, 4))
+	o.Add(1)
+	h.Merge(o)
+}
+
+func TestHistogramCDFPoints(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 10, 10))
+	for _, x := range []float64{0.5, 0.6, 4.2, 9.9} {
+		h.Add(x)
+	}
+	pts := h.CDFPoints()
+	if len(pts) != 3 {
+		t.Fatalf("CDFPoints = %v, want 3 nonempty bins", pts)
+	}
+	if pts[0].Y != 0.5 || pts[1].Y != 0.75 || pts[2].Y != 1 {
+		t.Fatalf("cumulative fractions wrong: %v", pts)
+	}
+	prev := 0.0
+	for _, p := range pts {
+		if p.Y < prev {
+			t.Fatalf("CDF not monotone: %v", pts)
+		}
+		prev = p.Y
+	}
+	if last := pts[len(pts)-1]; last.X != h.Max() {
+		t.Fatalf("last CDF point x = %v, want Max %v", last.X, h.Max())
+	}
+}
+
+func TestHistogramFractionAtMost(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 1, 4))
+	for _, x := range []float64{0.1, 0.3, 0.6, 0.9} {
+		h.Add(x)
+	}
+	if got := h.FractionAtMost(-1); got != 0 {
+		t.Fatalf("below min: %v", got)
+	}
+	if got := h.FractionAtMost(2); got != 1 {
+		t.Fatalf("above max: %v", got)
+	}
+	mid := h.FractionAtMost(0.5)
+	if mid <= 0.25 || mid >= 0.75 {
+		t.Fatalf("FractionAtMost(0.5) = %v, want in (0.25, 0.75)", mid)
+	}
+
+	// Samples clamped into the end bins must still yield probabilities:
+	// x between the bin's edge span and the observed extremum used to
+	// extrapolate past [0, 1].
+	o := NewHistogram(UniformEdges(0, 1, 4))
+	o.Add(2)
+	o.Add(3)
+	for _, x := range []float64{2.5, 2, 2.999} {
+		if got := o.FractionAtMost(x); got < 0 || got > 1 {
+			t.Fatalf("FractionAtMost(%v) = %v, not a probability", x, got)
+		}
+	}
+	u := NewHistogram(UniformEdges(10, 20, 4))
+	u.Add(1)
+	u.Add(15)
+	if got := u.FractionAtMost(5); got < 0 || got > 1 {
+		t.Fatalf("FractionAtMost(5) = %v, not a probability", got)
+	}
+}
+
+func TestLogEdgesShape(t *testing.T) {
+	edges := LogEdges(1, 1000, 3)
+	want := []float64{1, 10, 100, 1000}
+	for i, e := range edges {
+		if math.Abs(e-want[i]) > 1e-9 {
+			t.Fatalf("LogEdges = %v, want %v", edges, want)
+		}
+	}
+	if !sort.Float64sAreSorted(edges) {
+		t.Fatal("edges not sorted")
+	}
+}
+
+// TestCDFFractionAtMostAllEqual guards the binary-search duplicate
+// handling: a heavily duplicated value must resolve in O(log n), and the
+// fractions at, below and above the value must be exact.
+func TestCDFFractionAtMostAllEqual(t *testing.T) {
+	xs := make([]float64, 200000)
+	c := NewCDF(xs) // all zeros
+	if got := c.FractionAtMost(0); got != 1 {
+		t.Fatalf("FractionAtMost(0) = %v, want 1", got)
+	}
+	if got := c.FractionAtMost(-0.001); got != 0 {
+		t.Fatalf("FractionAtMost(-0.001) = %v, want 0", got)
+	}
+	if got := c.FractionAtMost(0.001); got != 1 {
+		t.Fatalf("FractionAtMost(0.001) = %v, want 1", got)
+	}
+	// Half zeros, half ones: the boundary fractions stay exact.
+	for i := 100000; i < 200000; i++ {
+		xs[i] = 1
+	}
+	c = NewCDF(xs)
+	if got := c.FractionAtMost(0); got != 0.5 {
+		t.Fatalf("FractionAtMost(0) = %v, want 0.5", got)
+	}
+	if got := c.FractionAtMost(1); got != 1 {
+		t.Fatalf("FractionAtMost(1) = %v, want 1", got)
+	}
+}

@@ -70,11 +70,10 @@ func (c *CDF) FractionAtMost(x float64) float64 {
 	if len(c.sorted) == 0 {
 		return 0
 	}
-	i := sort.SearchFloat64s(c.sorted, x)
-	// Advance past equal values: SearchFloat64s finds the first >= x.
-	for i < len(c.sorted) && c.sorted[i] == x {
-		i++
-	}
+	// Binary-search the first index strictly greater than x: O(log n) even
+	// when the sample is dominated by one value (e.g. the zero rate most
+	// clean paths report), where scanning past duplicates would be O(n).
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
 	return float64(i) / float64(len(c.sorted))
 }
 

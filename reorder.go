@@ -28,6 +28,7 @@ import (
 	"reorder/internal/host"
 	"reorder/internal/netem"
 	"reorder/internal/simnet"
+	"reorder/internal/stats"
 )
 
 // Measurement engine (§III of the paper).
@@ -148,8 +149,12 @@ type (
 	Scheduler = campaign.Scheduler
 	// SchedulerConfig tunes the worker pool.
 	SchedulerConfig = campaign.SchedulerConfig
-	// Aggregator folds per-target results via lock-free per-worker shards.
+	// Aggregator folds per-target results via lock-free per-worker shards
+	// of fixed-bin streaming histograms: constant memory in target count.
 	Aggregator = campaign.Aggregator
+	// CampaignRateSummary is one streamed statistic's reduction: exact
+	// N/Min/Max plus histogram-interpolated Mean and P50/P90/P99.
+	CampaignRateSummary = campaign.RateSummary
 	// Sink is a streaming consumer of per-target campaign results.
 	Sink = campaign.Sink
 	// JSONLSink streams results as one JSON object per line.
@@ -176,4 +181,25 @@ var (
 	CampaignProfiles = campaign.Profiles
 	// CampaignImpairments lists the named path impairments.
 	CampaignImpairments = campaign.Impairments
+)
+
+// Streaming statistics (internal/stats): the constant-memory histogram
+// machinery the campaign aggregator shards are built from, exported so
+// downstream pipelines can reduce their own JSONL streams the same way.
+type (
+	// Histogram is a fixed-bin streaming histogram: mergeable shards,
+	// bin-interpolated quantiles, CDF points, constant memory.
+	Histogram = stats.Histogram
+	// CDFPoint is one (x, P(X<=x)) plot coordinate.
+	CDFPoint = stats.Point
+)
+
+// Histogram constructors.
+var (
+	// NewHistogram builds a histogram over ascending bin edges.
+	NewHistogram = stats.NewHistogram
+	// UniformEdges returns equally spaced bin edges over [lo, hi].
+	UniformEdges = stats.UniformEdges
+	// LogEdges returns geometrically spaced bin edges over [lo, hi].
+	LogEdges = stats.LogEdges
 )
