@@ -308,10 +308,30 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkCampaignProbe isolates one hermetic target probe — scenario
-// construction plus one measurement — the unit cost every campaign
-// scales from.
+// BenchmarkCampaignProbe isolates one hermetic target probe the way a
+// campaign worker runs it — scenario re-seeding in a reused arena plus one
+// measurement — the steady-state unit cost every campaign scales from.
+// Results are byte-identical to fresh construction (pinned by
+// TestArenaReuseMatchesFreshProbes).
 func BenchmarkCampaignProbe(b *testing.B) {
+	tg := campaign.Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
+	arena := campaign.NewProbeArena()
+	if res := arena.ProbeTarget(tg, 8, 0); res.Err != "" {
+		b.Fatal(res.Err) // warm the arena outside the timed loop
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := arena.ProbeTarget(tg, 8, 0); res.Err != "" {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkCampaignProbeCold is the pre-arena unit cost — a fresh scenario
+// constructed and discarded per target — kept as the baseline the fast
+// path is measured against.
+func BenchmarkCampaignProbeCold(b *testing.B) {
 	tg := campaign.Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -322,46 +342,16 @@ func BenchmarkCampaignProbe(b *testing.B) {
 	}
 }
 
-// syntheticResults builds n deterministic TargetResults without probing,
-// so the aggregator benchmark isolates aggregation cost from probe cost.
-func syntheticResults(n int) []*campaign.TargetResult {
-	tests := []string{"single", "dual", "syn", "transfer"}
-	results := make([]*campaign.TargetResult, n)
-	for i := range results {
-		// A cheap LCG keeps the stream deterministic and allocation-free.
-		rng := uint64(i)*6364136223846793005 + 1442695040888963407
-		draw := func(mod uint64) int {
-			rng = rng*6364136223846793005 + 1442695040888963407
-			return int((rng >> 33) % mod)
-		}
-		r := &campaign.TargetResult{
-			Index: i, Name: "synthetic", Profile: "freebsd4", Impairment: "clean",
-			Test: tests[i%len(tests)], Attempts: 1,
-			FwdValid: 8, FwdReordered: draw(9), RevValid: 8, RevReordered: draw(9),
-			RTTMicros: int64(500 + draw(200000)),
-		}
-		r.FwdRate = float64(r.FwdReordered) / 8
-		r.RevRate = float64(r.RevReordered) / 8
-		r.AnyReordering = r.FwdReordered+r.RevReordered > 0
-		if r.Test == "transfer" {
-			r.SeqReceived = 20
-			r.SeqMaxExtent = draw(12)
-			r.SeqNReordering = draw(4)
-			r.SeqDupthreshExposure = float64(r.SeqNReordering) / 20
-		}
-		results[i] = r
-	}
-	return results
-}
-
 // BenchmarkCampaignAggregator measures aggregation memory at scale: per-
 // target allocated bytes must stay flat from 10k to 100k targets, the
 // constant-memory contract of the histogram shards (the former raw sample
-// pools grew 8+ bytes per target per pooled statistic).
+// pools grew 8+ bytes per target per pooled statistic). The workload is
+// campaign.SyntheticResults, shared with cmd/bench so the two record
+// comparable numbers.
 func BenchmarkCampaignAggregator(b *testing.B) {
 	for _, n := range []int{10_000, 100_000} {
 		b.Run(fmt.Sprintf("targets-%d", n), func(b *testing.B) {
-			results := syntheticResults(n)
+			results := campaign.SyntheticResults(n)
 			var before, after runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&before)

@@ -1,0 +1,131 @@
+// Command bench runs the campaign-engine benchmarks programmatically and
+// writes the figures of merit to a JSON file, the first point of the
+// performance trajectory future PRs measure against. Unlike `go test
+// -bench`, its output is a machine-readable record (ns/op, B/op,
+// allocs/op, targets/s) that CI and later sessions can diff.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-o BENCH_probe.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"reorder/internal/campaign"
+	"reorder/internal/cli"
+)
+
+func main() { cli.Main(run) }
+
+// point is one benchmark's recorded figures of merit.
+type point struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	BPerOp    int64   `json:"b_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	TargetsPS float64 `json:"targets_per_sec,omitempty"`
+	N         int     `json:"n"`
+}
+
+// report is the BENCH_probe.json schema. Append-only: future PRs add
+// fields, never rename them, so trajectories stay comparable.
+type report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Points     []point `json:"points"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_probe.json", "output path for the benchmark record")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+
+	targets, err := campaign.Enumerate(campaign.EnumSpec{
+		Impairments: []string{"clean", "swap-heavy"},
+		Seeds:       2,
+		BaseSeed:    11,
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	record := func(name string, perOpTargets int, bench func(b *testing.B)) {
+		res := testing.Benchmark(bench)
+		p := point{
+			Name:     name,
+			NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+			BPerOp:   res.AllocedBytesPerOp(),
+			AllocsOp: res.AllocsPerOp(),
+			N:        res.N,
+		}
+		if perOpTargets > 0 && res.T > 0 {
+			p.TargetsPS = float64(res.N*perOpTargets) / res.T.Seconds()
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Fprintf(stdout, "%-28s %12.0f ns/op %10d B/op %8d allocs/op", name, p.NsPerOp, p.BPerOp, p.AllocsOp)
+		if p.TargetsPS > 0 {
+			fmt.Fprintf(stdout, " %10.0f targets/s", p.TargetsPS)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	// CampaignProbe: the steady-state unit cost — one target probed
+	// through a reused worker arena, as campaign.Run does it.
+	probeTarget := campaign.Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
+	arena := campaign.NewProbeArena()
+	if res := arena.ProbeTarget(probeTarget, 8, 0); res.Err != "" {
+		return fmt.Errorf("bench: warmup probe failed: %s", res.Err)
+	}
+	record("CampaignProbe", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := arena.ProbeTarget(probeTarget, 8, 0); res.Err != "" {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+
+	// CampaignThroughput: the orchestrator end to end over the benchmark
+	// work list.
+	record("CampaignThroughput", len(targets), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.Run(campaign.Config{Targets: targets, Samples: 8, Workers: 16}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// CampaignAggregator: aggregation cost isolated from probe cost, over
+	// the same synthetic workload BenchmarkCampaignAggregator measures.
+	results := campaign.SyntheticResults(10_000)
+	record("CampaignAggregator-10k", 10_000, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg := campaign.NewAggregator(16)
+			for j, r := range results {
+				agg.Shard(j % 16).Add(r)
+			}
+			if sum := agg.Summary(); sum.Targets != len(results) {
+				b.Fatalf("summary covered %d targets, want %d", sum.Targets, len(results))
+			}
+		}
+	})
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,9 +47,41 @@ func run(args []string, stdout io.Writer) error {
 		listTargets  = fs.Bool("list-targets", false, "print the enumerated target list and exit")
 		progress     = fs.Bool("progress", false, "print progress to stderr")
 		quick        = fs.Bool("quick", false, "small campaign (2 seeds, single+syn) for smoke runs")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this path")
+		memProfile   = fs.String("memprofile", "", "write an allocation profile (taken at completion) to this path")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+
+	// Profiling hooks, so field campaigns can be profiled the way the
+	// benchmarks were (go tool pprof <binary> <profile>).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var targets []campaign.Target

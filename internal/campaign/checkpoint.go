@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"strconv"
 )
 
 // Checkpoint records durable campaign progress: how many results have been
@@ -30,12 +31,28 @@ type Checkpoint struct {
 // hatch).
 const recordFormat = 2
 
-// Fingerprint hashes the campaign's deterministic inputs.
+// Fingerprint hashes the campaign's deterministic inputs. The byte stream
+// fed to the hash is frozen: old checkpoints must keep verifying, so this
+// appends exactly what the original fmt.Fprintf formulation produced.
 func Fingerprint(targets []Target, samples int) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "format=%d\nsamples=%d\n", recordFormat, samples)
+	buf := make([]byte, 0, 128)
+	buf = append(buf, "format="...)
+	buf = strconv.AppendInt(buf, recordFormat, 10)
+	buf = append(buf, "\nsamples="...)
+	buf = strconv.AppendInt(buf, int64(samples), 10)
+	buf = append(buf, '\n')
+	h.Write(buf)
 	for _, t := range targets {
-		fmt.Fprintf(h, "%s|%s|%s|%d\n", t.Profile, t.Impairment, t.Test, t.Seed)
+		buf = append(buf[:0], t.Profile...)
+		buf = append(buf, '|')
+		buf = append(buf, t.Impairment...)
+		buf = append(buf, '|')
+		buf = append(buf, t.Test...)
+		buf = append(buf, '|')
+		buf = strconv.AppendUint(buf, t.Seed, 10)
+		buf = append(buf, '\n')
+		h.Write(buf)
 	}
 	return h.Sum64()
 }

@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// AppendJSON appends the record's JSON encoding to dst and returns the
+// extended slice. The output is byte-identical to encoding/json.Marshal of
+// the same record (field order, omitempty, string escaping and float
+// formatting included) — pinned by TestAppendJSONMatchesMarshal — while
+// allocating nothing beyond dst growth. The JSONL sink emits millions of
+// records per campaign through this path instead of reflective marshaling.
+func (r *TargetResult) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"index":`...)
+	dst = strconv.AppendInt(dst, int64(r.Index), 10)
+	dst = append(dst, `,"name":`...)
+	dst = appendJSONString(dst, r.Name)
+	dst = append(dst, `,"profile":`...)
+	dst = appendJSONString(dst, r.Profile)
+	dst = append(dst, `,"impairment":`...)
+	dst = appendJSONString(dst, r.Impairment)
+	dst = append(dst, `,"test":`...)
+	dst = appendJSONString(dst, r.Test)
+	dst = append(dst, `,"seed":`...)
+	dst = strconv.AppendUint(dst, r.Seed, 10)
+	dst = append(dst, `,"attempts":`...)
+	dst = strconv.AppendInt(dst, int64(r.Attempts), 10)
+	if r.Err != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, r.Err)
+	}
+	if r.DCTExcluded != "" {
+		dst = append(dst, `,"dct_excluded":`...)
+		dst = appendJSONString(dst, r.DCTExcluded)
+	}
+	dst = append(dst, `,"fwd_valid":`...)
+	dst = strconv.AppendInt(dst, int64(r.FwdValid), 10)
+	dst = append(dst, `,"fwd_reordered":`...)
+	dst = strconv.AppendInt(dst, int64(r.FwdReordered), 10)
+	dst = append(dst, `,"fwd_rate":`...)
+	dst = appendJSONFloat(dst, r.FwdRate)
+	dst = append(dst, `,"rev_valid":`...)
+	dst = strconv.AppendInt(dst, int64(r.RevValid), 10)
+	dst = append(dst, `,"rev_reordered":`...)
+	dst = strconv.AppendInt(dst, int64(r.RevReordered), 10)
+	dst = append(dst, `,"rev_rate":`...)
+	dst = appendJSONFloat(dst, r.RevRate)
+	dst = append(dst, `,"any_reordering":`...)
+	dst = strconv.AppendBool(dst, r.AnyReordering)
+	dst = append(dst, `,"rtt_us":`...)
+	dst = strconv.AppendInt(dst, r.RTTMicros, 10)
+	if r.SeqRatio != 0 {
+		dst = append(dst, `,"seq_ratio":`...)
+		dst = appendJSONFloat(dst, r.SeqRatio)
+	}
+	if r.SeqReceived != 0 {
+		dst = append(dst, `,"seq_received":`...)
+		dst = strconv.AppendInt(dst, int64(r.SeqReceived), 10)
+	}
+	if r.SeqMaxExtent != 0 {
+		dst = append(dst, `,"seq_max_extent":`...)
+		dst = strconv.AppendInt(dst, int64(r.SeqMaxExtent), 10)
+	}
+	if r.SeqNReordering != 0 {
+		dst = append(dst, `,"seq_n_reordering":`...)
+		dst = strconv.AppendInt(dst, int64(r.SeqNReordering), 10)
+	}
+	if r.SeqDupthreshExposure != 0 {
+		dst = append(dst, `,"seq_dupthresh_exposure":`...)
+		dst = appendJSONFloat(dst, r.SeqDupthreshExposure)
+	}
+	return append(dst, '}')
+}
+
+// appendJSONFloat replicates encoding/json's float64 encoding: shortest
+// representation, 'f' form except for magnitudes below 1e-6 or at least
+// 1e21, which use 'e' form with a trimmed two-digit negative exponent.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	fmtByte := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		fmtByte = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, fmtByte, -1, 64)
+	if fmtByte == 'e' {
+		// encoding/json trims "e-09" style exponents to "e-9".
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString replicates encoding/json's string encoding with its
+// default HTML escaping: quotes, backslashes and control characters are
+// escaped, as are '<', '>', '&', U+2028 and U+2029; invalid UTF-8 becomes
+// the escape sequence \ufffd.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe(b) {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// jsonSafe reports whether b may appear literally in a JSON string under
+// encoding/json's default (HTML-escaping) rules.
+func jsonSafe(b byte) bool {
+	return b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+}

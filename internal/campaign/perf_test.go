@@ -1,0 +1,172 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestArenaReuseMatchesFreshProbes is the arena hermeticity guard at the
+// probe level: one ProbeArena carried across a diverse target sequence
+// must yield records identical to fresh per-target construction — the
+// invariant that lets campaign workers reuse scenarios without changing a
+// byte of output.
+func TestArenaReuseMatchesFreshProbes(t *testing.T) {
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewProbeArena()
+	for _, tg := range targets {
+		fresh := ProbeTarget(tg, 4, 0)
+		reused := arena.ProbeTarget(tg, 4, 0)
+		f := fresh.AppendJSON(nil)
+		r := reused.AppendJSON(nil)
+		if !bytes.Equal(f, r) {
+			t.Fatalf("target %s: arena probe differs from fresh probe:\nfresh:  %s\nreused: %s", tg.Name, f, r)
+		}
+	}
+	// Retries draw a different stream; the arena must track that too.
+	tg := targets[0]
+	if !bytes.Equal(ProbeTarget(tg, 4, 2).AppendJSON(nil), arena.ProbeTarget(tg, 4, 2).AppendJSON(nil)) {
+		t.Fatal("arena probe differs from fresh probe on a retry attempt")
+	}
+}
+
+// TestArenaCampaignMatchesFreshPerTarget is the determinism guard the
+// fast path is gated on: a campaign (whose workers reuse arenas) must
+// produce JSONL and CSV byte-identical to a fresh-per-target construction
+// at workers 1, 4 and 16, and across a StopAfter checkpoint/resume split.
+func TestArenaCampaignMatchesFreshPerTarget(t *testing.T) {
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected output: every target probed fresh, streamed through the
+	// same sinks the campaign uses.
+	var wantJSONL, wantCSV bytes.Buffer
+	js := NewJSONLSink(&wantJSONL)
+	cs := NewCSVSink(&wantCSV)
+	for _, tg := range targets {
+		r := ProbeTarget(tg, 4, 0)
+		if err := js.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := js.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		dir := t.TempDir()
+		csvPath := filepath.Join(dir, "out.csv")
+		_, gotJSONL := runCampaign(t, dir, workers, func(c *Config) { c.CSVPath = csvPath })
+		if !bytes.Equal(wantJSONL.Bytes(), gotJSONL) {
+			t.Fatalf("workers=%d: arena campaign JSONL differs from fresh-per-target output", workers)
+		}
+		gotCSV, err := os.ReadFile(csvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantCSV.Bytes(), gotCSV) {
+			t.Fatalf("workers=%d: arena campaign CSV differs from fresh-per-target output", workers)
+		}
+	}
+
+	// StopAfter + resume: the resumed run re-enters arenas mid-campaign.
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.json")
+	csvPath := filepath.Join(dir, "out.csv")
+	var gotJSONL []byte
+	for i, window := range []int{10, 0} {
+		_, gotJSONL = runCampaign(t, dir, 4, func(c *Config) {
+			c.CSVPath = csvPath
+			c.CheckpointPath = ckpt
+			c.Resume = i > 0
+			c.StopAfter = window
+		})
+	}
+	if !bytes.Equal(wantJSONL.Bytes(), gotJSONL) {
+		t.Fatal("resumed arena campaign JSONL differs from fresh-per-target output")
+	}
+	gotCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantCSV.Bytes(), gotCSV) {
+		t.Fatal("resumed arena campaign CSV differs from fresh-per-target output")
+	}
+}
+
+// TestAppendJSONMatchesMarshal pins AppendJSON to encoding/json byte for
+// byte, across omitempty boundaries, float formats and string escaping.
+func TestAppendJSONMatchesMarshal(t *testing.T) {
+	cases := []*TargetResult{
+		{}, // all zero: every omitempty field absent
+		{
+			Index: 3, Name: "freebsd4/swap-heavy/single/s7", Profile: "freebsd4",
+			Impairment: "swap-heavy", Test: "single", Seed: 18446744073709551615,
+			Attempts: 2, FwdValid: 8, FwdReordered: 3, FwdRate: 0.375,
+			RevValid: 8, RevReordered: 1, RevRate: 0.125,
+			AnyReordering: true, RTTMicros: 10499,
+		},
+		{
+			Name: "escape <&> \"quotes\" \\ tab\t nl\n cr\r ctl\x01 high\u2028\u2029 bad\xff utf8ok→",
+			Err:  "campaign: target 9: core: handshake with target failed",
+		},
+		{
+			Test: "transfer", SeqRatio: 1.0 / 3.0, SeqReceived: 21,
+			SeqMaxExtent: 12, SeqNReordering: 2, SeqDupthreshExposure: 2.0 / 21.0,
+		},
+		{FwdRate: 1e-7, RevRate: 3.1e21, SeqRatio: 0.1, SeqDupthreshExposure: 5e-324},
+		{FwdRate: math.MaxFloat64, RevRate: -1e-9, RTTMicros: -17},
+		{DCTExcluded: "zero-ipid", Err: "boom"},
+	}
+	for i, r := range cases {
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.AppendJSON(nil)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("case %d:\n json.Marshal: %s\n AppendJSON:   %s", i, want, got)
+		}
+		// Appending after existing content must not disturb either part.
+		pre := []byte("prefix|")
+		if got := r.AppendJSON(pre); !bytes.Equal(got, append([]byte("prefix|"), want...)) {
+			t.Fatalf("case %d: AppendJSON corrupted the destination prefix", i)
+		}
+	}
+}
+
+// TestProbeAllocBudget pins the steady-state probe allocation budget: a
+// warmed arena probe must stay under 150 allocations (the seed's cost was
+// ~930). A regression here means a fast-path allocation crept back in.
+func TestProbeAllocBudget(t *testing.T) {
+	tg := Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
+	arena := NewProbeArena()
+	for i := 0; i < 3; i++ { // warm the arena's slabs and scratch
+		if res := arena.ProbeTarget(tg, 8, 0); res.Err != "" {
+			t.Fatalf("probe errored: %s", res.Err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if res := arena.ProbeTarget(tg, 8, 0); res.Err != "" {
+			t.Fatalf("probe errored: %s", res.Err)
+		}
+	})
+	const budget = 150
+	if allocs > budget {
+		t.Fatalf("steady-state probe allocates %.0f objects, budget %d", allocs, budget)
+	}
+}

@@ -69,6 +69,26 @@ func (r *TargetResult) PathRate() (float64, bool) {
 	return float64(r.FwdReordered+r.RevReordered) / float64(valid), true
 }
 
+// ProbeArena is the reusable machinery a campaign worker probes targets
+// with: one simulated scenario and one prober, re-seeded per target
+// instead of constructed afresh. Reuse is observably equivalent to fresh
+// construction — simnet.Net.Reset and core.Prober.Reset restore the exact
+// fresh-start state — so arena probes yield byte-identical campaign output
+// at any worker count and across resume; the campaign tests pin this. A
+// ProbeArena is not safe for concurrent use: one worker, one arena.
+type ProbeArena struct {
+	net    *simnet.Net
+	prober *core.Prober
+}
+
+// NewProbeArena returns an empty arena; the first probe populates it.
+func NewProbeArena() *ProbeArena { return &ProbeArena{} }
+
+// ProbeTarget is the package-level ProbeTarget probing through the arena.
+func (a *ProbeArena) ProbeTarget(t Target, samples int, attempt int) *TargetResult {
+	return probeTarget(t, samples, attempt, a)
+}
+
 // ProbeTarget runs one target's measurement hermetically: the scenario,
 // prober and all randomness derive from the target spec and attempt
 // number alone, so a probe's outcome is independent of scheduling, worker
@@ -76,6 +96,10 @@ func (r *TargetResult) PathRate() (float64, bool) {
 // the result rather than returned: a campaign always yields one record
 // per target.
 func ProbeTarget(t Target, samples int, attempt int) *TargetResult {
+	return probeTarget(t, samples, attempt, nil)
+}
+
+func probeTarget(t Target, samples int, attempt int, arena *ProbeArena) *TargetResult {
 	if samples <= 0 {
 		samples = 8
 	}
@@ -108,9 +132,27 @@ func ProbeTarget(t Target, samples int, attempt int) *TargetResult {
 	for i := range cfg.Backends {
 		cfg.Backends[i].TCP.ObjectSize = (samples + 1) * 256
 	}
+	// Campaigns never read the ground-truth captures; skip recording.
+	// Taps are pass-throughs, so this changes no measurement outcome.
+	cfg.DisableCaptures = true
 
-	n := simnet.New(cfg)
-	prober := core.NewProber(n.Probe(), n.ServerAddr(), rng.Uint64())
+	// The target stream is consumed in the same order on both paths:
+	// scenario seed, path-spec fork, prober seed.
+	var n *simnet.Net
+	var prober *core.Prober
+	switch {
+	case arena == nil:
+		n = simnet.New(cfg)
+		prober = core.NewProber(n.Probe(), n.ServerAddr(), rng.Uint64())
+	case arena.net == nil:
+		arena.net = simnet.New(cfg)
+		arena.prober = core.NewProber(arena.net.Probe(), arena.net.ServerAddr(), rng.Uint64())
+		n, prober = arena.net, arena.prober
+	default:
+		arena.net.Reset(cfg)
+		arena.prober.Reset(rng.Uint64())
+		n, prober = arena.net, arena.prober
+	}
 
 	var out *core.Result
 	switch t.Test {

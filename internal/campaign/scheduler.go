@@ -147,16 +147,17 @@ func (s *Scheduler) Run(start, end int, job func(worker, index, attempt int) err
 	}()
 
 	// Re-sequence completions: workers finish in arbitrary order, sinks
-	// must see index order. The dispatch window caps the pending set at
-	// Window entries even when one slow job holds the frontier, so
-	// memory stays bounded for any campaign size.
-	pending := make(map[int]bool, s.cfg.Window)
+	// must see index order. The dispatch window caps issued-but-unemitted
+	// indices at Window, so a fixed ring indexed by i mod Window holds the
+	// pending set — constant memory for any campaign size, no map churn on
+	// the per-target path.
+	pending := make([]bool, s.cfg.Window)
 	next := start
 	var emitErr error
 	for i := range doneCh {
-		pending[i] = true
-		for emitErr == nil && pending[next] {
-			delete(pending, next)
+		pending[i%s.cfg.Window] = true
+		for emitErr == nil && pending[next%s.cfg.Window] {
+			pending[next%s.cfg.Window] = false
 			if emit != nil {
 				if err := emit(next); err != nil {
 					emitErr = err

@@ -3,7 +3,6 @@ package campaign
 import (
 	"bufio"
 	"encoding/csv"
-	"encoding/json"
 	"io"
 	"strconv"
 )
@@ -25,10 +24,13 @@ type Sink interface {
 
 // JSONLSink streams one JSON object per line. Field order is fixed by the
 // TargetResult struct, which makes the stream byte-reproducible and
-// therefore checkpoint-resumable.
+// therefore checkpoint-resumable. Records are encoded through
+// TargetResult.AppendJSON into a reused buffer rather than reflective
+// json.Marshal, so emitting is allocation-free at steady state.
 type JSONLSink struct {
-	bw *bufio.Writer
-	c  io.Closer
+	bw  *bufio.Writer
+	c   io.Closer
+	buf []byte
 }
 
 // NewJSONLSink wraps w. If w is an io.Closer it is closed by Close.
@@ -42,11 +44,8 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 
 // Emit implements Sink.
 func (s *JSONLSink) Emit(r *TargetResult) error {
-	data, err := json.Marshal(r)
-	if err != nil {
-		return err
-	}
-	if _, err := s.bw.Write(data); err != nil {
+	s.buf = r.AppendJSON(s.buf[:0])
+	if _, err := s.bw.Write(s.buf); err != nil {
 		return err
 	}
 	return s.bw.WriteByte('\n')
@@ -75,6 +74,7 @@ type CSVSink struct {
 	cw        *csv.Writer
 	c         io.Closer
 	wroteHead bool
+	row       []string // reused per record; csv.Writer copies it out on Write
 }
 
 // csvHeader is the column set, aligned with TargetResult's JSON fields.
@@ -107,7 +107,7 @@ func (s *CSVSink) Emit(r *TargetResult) error {
 			return err
 		}
 	}
-	return s.cw.Write([]string{
+	s.row = append(s.row[:0],
 		strconv.Itoa(r.Index), r.Name, r.Profile, r.Impairment, r.Test,
 		strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Attempts),
 		r.Err, r.DCTExcluded,
@@ -117,7 +117,8 @@ func (s *CSVSink) Emit(r *TargetResult) error {
 		fmtFloat(r.SeqRatio), strconv.Itoa(r.SeqReceived),
 		strconv.Itoa(r.SeqMaxExtent), strconv.Itoa(r.SeqNReordering),
 		fmtFloat(r.SeqDupthreshExposure),
-	})
+	)
+	return s.cw.Write(s.row)
 }
 
 // Flush implements Sink.

@@ -185,6 +185,7 @@ func (p *Prober) burstOnce(conns []*conn, o BurstOptions) BurstSample {
 		i := byPort[pkt.TCP.DstPort]
 		delete(pending, i)
 		acks = append(acks, ackRec{pos: i, ipid: pkt.IP.ID})
+		p.release(pkt)
 	}
 	s.Received = len(acks)
 

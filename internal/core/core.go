@@ -39,7 +39,9 @@ type Transport interface {
 	// LocalAddr is the probe's source address.
 	LocalAddr() netip.Addr
 	// Send injects one raw IPv4 datagram, returning an opaque frame ID
-	// that ground-truth captures can key on (zero if untracked).
+	// that ground-truth captures can key on (zero if untracked). The
+	// transport must not retain data past the call (it copies if it needs
+	// to): the prober reuses one encode buffer for every packet it sends.
 	Send(data []byte) uint64
 	// Recv returns the next datagram addressed to the probe and its frame
 	// ID (zero if untracked), waiting up to timeout. ok is false on

@@ -113,31 +113,39 @@ func (p *Prober) dctSample(ca, cb *conn, o DCTOptions) Sample {
 	}
 	s.SentIDs[1] = cb.ping()
 
-	// Collect both acknowledgments in arrival order.
+	// Collect both acknowledgments in arrival order. Fixed-size state (two
+	// connections, at most two replies) keeps the per-sample loop off the
+	// heap.
 	type reply struct {
 		conn *conn
 		ipid uint16
 		id   uint64
 	}
-	var replies []reply
+	var replies [2]reply
+	nreplies := 0
 	deadline := p.tp.Now().Add(o.ReplyTimeout)
-	seen := map[*conn]bool{}
-	for len(replies) < 2 {
+	var seenA, seenB bool
+	match := func(q *packet.Packet) bool {
+		if !seenA && q.TCP.SrcPort == ca.rport && q.TCP.DstPort == ca.lport &&
+			q.TCP.HasFlags(packet.FlagACK) &&
+			q.TCP.Flags&(packet.FlagSYN|packet.FlagRST|packet.FlagFIN) == 0 &&
+			q.TCP.Ack == ca.iss+1 {
+			return true
+		}
+		if !seenB && q.TCP.SrcPort == cb.rport && q.TCP.DstPort == cb.lport &&
+			q.TCP.HasFlags(packet.FlagACK) &&
+			q.TCP.Flags&(packet.FlagSYN|packet.FlagRST|packet.FlagFIN) == 0 &&
+			q.TCP.Ack == cb.iss+1 {
+			return true
+		}
+		return false
+	}
+	for nreplies < 2 {
 		remaining := deadline.Sub(p.tp.Now())
 		if remaining <= 0 {
 			break
 		}
-		pkt, id, ok := p.awaitTCP(remaining, func(q *packet.Packet) bool {
-			for _, c := range []*conn{ca, cb} {
-				if !seen[c] && q.TCP.SrcPort == c.rport && q.TCP.DstPort == c.lport &&
-					q.TCP.HasFlags(packet.FlagACK) &&
-					q.TCP.Flags&(packet.FlagSYN|packet.FlagRST|packet.FlagFIN) == 0 &&
-					q.TCP.Ack == c.iss+1 {
-					return true
-				}
-			}
-			return false
-		})
+		pkt, id, ok := p.awaitTCP(remaining, match)
 		if !ok {
 			break
 		}
@@ -145,14 +153,20 @@ func (p *Prober) dctSample(ca, cb *conn, o DCTOptions) Sample {
 		if pkt.TCP.DstPort == cb.lport {
 			which = cb
 		}
-		if len(replies) == 0 {
+		if nreplies == 0 {
 			s.RTT = p.tp.Now().Sub(sentAt)
 		}
-		seen[which] = true
-		replies = append(replies, reply{conn: which, ipid: pkt.IP.ID, id: id})
+		if which == ca {
+			seenA = true
+		} else {
+			seenB = true
+		}
+		replies[nreplies] = reply{conn: which, ipid: pkt.IP.ID, id: id}
+		nreplies++
+		p.release(pkt)
 	}
 
-	if len(replies) < 2 {
+	if nreplies < 2 {
 		return Sample{Forward: VerdictLost, Reverse: VerdictLost, SentIDs: s.SentIDs, RTT: s.RTT}
 	}
 	s.ReplyIPIDs = [2]uint16{replies[0].ipid, replies[1].ipid}
@@ -228,9 +242,11 @@ func (p *Prober) ValidateIPID(o IPIDCheckOptions) (*ipid.Report, error) {
 	return p.validateIPID(ca, cb, DCTOptions{ValidationProbes: o.Probes, ReplyTimeout: o.ReplyTimeout}), nil
 }
 
-// validateIPID runs the elicitation over existing connections.
+// validateIPID runs the elicitation over existing connections. The
+// observation slice is prober-owned scratch (ipid.Validate does not retain
+// it).
 func (p *Prober) validateIPID(ca, cb *conn, o DCTOptions) *ipid.Report {
-	var obs []ipid.Observation
+	obs := p.obsScratch[:0]
 	conns := [2]*conn{ca, cb}
 	for i := 0; i < o.ValidationProbes; i++ {
 		c := conns[i%2]
@@ -240,6 +256,8 @@ func (p *Prober) validateIPID(ca, cb *conn, o DCTOptions) *ipid.Report {
 			continue // lost probe or ack; the report's sample count shrinks
 		}
 		obs = append(obs, ipid.Observation{Conn: i % 2, ID: pkt.IP.ID})
+		p.release(pkt)
 	}
+	p.obsScratch = obs
 	return ipid.Validate(obs)
 }

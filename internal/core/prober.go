@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"time"
 
+	"reorder/internal/ipid"
 	"reorder/internal/packet"
 	"reorder/internal/sim"
 )
@@ -30,6 +31,19 @@ type Prober struct {
 
 	nextPort uint16
 	buf      []rx // received packets not yet claimed by a waiter
+
+	// Steady-state scratch. encBuf is the single outgoing wire buffer
+	// (Transport.Send does not retain it); pktPool recycles decoded
+	// packets — awaitTCP checks one out, the consuming site returns it
+	// with release; acksBuf/ackIDs back collectAcks.
+	encBuf     []byte
+	txHdr      packet.TCPHeader
+	txIP       packet.IPv4Header
+	pktPool    []*packet.Packet
+	acksBuf    []uint32
+	ackIDs     []uint64
+	synReplies []*packet.Packet
+	obsScratch []ipid.Observation
 }
 
 // rx pairs a decoded packet with its network frame ID.
@@ -57,6 +71,38 @@ func NewProber(tp Transport, target netip.Addr, seed uint64) *Prober {
 // Target returns the probed address.
 func (p *Prober) Target() netip.Addr { return p.target }
 
+// Reset returns the prober to the state NewProber(tp, target, seed) would
+// produce on the same transport and target, keeping its scratch storage.
+// Campaign workers reuse one prober per scenario arena this way.
+func (p *Prober) Reset(seed uint64) {
+	p.rng.Reseed(seed, 0x9b0be)
+	p.nextPort = 40000
+	for _, q := range p.buf {
+		p.release(q.pkt)
+	}
+	p.buf = p.buf[:0]
+}
+
+// getPkt checks a decoded-packet cell out of the pool.
+func (p *Prober) getPkt() *packet.Packet {
+	if n := len(p.pktPool); n > 0 {
+		q := p.pktPool[n-1]
+		p.pktPool = p.pktPool[:n-1]
+		return q
+	}
+	return new(packet.Packet)
+}
+
+// release returns a packet obtained from awaitTCP (or buffered by it) to
+// the pool. The caller must drop every reference to pkt and its fields
+// first; the next decode overwrites them.
+func (p *Prober) release(pkt *packet.Packet) {
+	if pkt == nil {
+		return
+	}
+	p.pktPool = append(p.pktPool, pkt)
+}
+
 func (p *Prober) allocPort() uint16 {
 	port := p.nextPort
 	p.nextPort++
@@ -72,6 +118,7 @@ func (p *Prober) flushPort(lport uint16) {
 	kept := p.buf[:0]
 	for _, q := range p.buf {
 		if q.pkt.TCP != nil && q.pkt.TCP.DstPort == lport {
+			p.release(q.pkt)
 			continue
 		}
 		kept = append(kept, q)
@@ -81,7 +128,8 @@ func (p *Prober) flushPort(lport uint16) {
 
 // awaitTCP returns the first TCP packet from the target matching the
 // predicate, with its frame ID, buffering non-matching packets for other
-// waiters.
+// waiters. The returned packet is checked out of the prober's pool; the
+// consuming site must hand it back with release once done with it.
 func (p *Prober) awaitTCP(timeout time.Duration, match func(*packet.Packet) bool) (*packet.Packet, uint64, bool) {
 	for i, q := range p.buf {
 		if match(q.pkt) {
@@ -99,17 +147,20 @@ func (p *Prober) awaitTCP(timeout time.Duration, match func(*packet.Packet) bool
 		if !ok {
 			return nil, 0, false
 		}
-		pkt, err := packet.Decode(data)
-		if err != nil || pkt.TCP == nil {
+		pkt := p.getPkt()
+		if err := packet.DecodeInto(pkt, data); err != nil || pkt.TCP == nil {
+			p.release(pkt)
 			continue
 		}
 		if pkt.IP.Dst != p.tp.LocalAddr() || pkt.IP.Src != p.target {
+			p.release(pkt)
 			continue
 		}
 		if match(pkt) {
 			return pkt, id, true
 		}
 		if len(p.buf) >= maxBufferedPackets {
+			p.release(p.buf[0].pkt)
 			p.buf = p.buf[1:]
 		}
 		p.buf = append(p.buf, rx{pkt: pkt, id: id})
@@ -166,6 +217,7 @@ func (p *Prober) connect(rport uint16, cc connectConfig) (*conn, error) {
 		}
 		c.serverISS = pkt.TCP.Seq
 		c.rcvNxt = pkt.TCP.Seq + 1
+		p.release(pkt)
 		c.sendSeg(packet.FlagACK, c.iss+1, c.rcvNxt, nil, nil)
 		return c, nil
 	}
@@ -189,22 +241,27 @@ func (p *Prober) sendRaw(lport, rport uint16, flags uint8, seq, ack uint32, wind
 	return p.sendRawTOS(0, lport, rport, flags, seq, ack, window, payload, opts)
 }
 
-// sendRawTOS is sendRaw with an explicit IP TOS marking.
+// sendRawTOS is sendRaw with an explicit IP TOS marking. The segment is
+// encoded into the prober's reusable buffer; Transport.Send copies it if
+// it needs to keep it.
 func (p *Prober) sendRawTOS(tos uint8, lport, rport uint16, flags uint8, seq, ack uint32, window uint16, payload []byte, opts []packet.TCPOption) uint64 {
-	hdr := &packet.TCPHeader{
+	hdr := &p.txHdr
+	*hdr = packet.TCPHeader{
 		SrcPort: lport, DstPort: rport,
 		Seq: seq, Ack: ack, Flags: flags, Window: window, Options: opts,
 	}
-	ip := &packet.IPv4Header{
+	ip := &p.txIP
+	*ip = packet.IPv4Header{
 		Src: p.tp.LocalAddr(), Dst: p.target,
 		TOS:   tos,
 		ID:    p.rng.Uint16(), // probe-side IPID is irrelevant to the tests
 		Flags: packet.FlagDF,
 	}
-	raw, err := packet.EncodeTCP(ip, hdr, payload)
+	raw, err := packet.AppendTCP(p.encBuf[:0], ip, hdr, payload)
 	if err != nil {
 		panic("core: encode: " + err.Error())
 	}
+	p.encBuf = raw[:0]
 	return p.tp.Send(raw)
 }
 
@@ -220,9 +277,12 @@ func (c *conn) awaitSeg(timeout time.Duration, extra func(*packet.TCPHeader) boo
 
 // awaitAckValue waits for a pure ACK with the exact acknowledgment number.
 func (c *conn) awaitAckValue(timeout time.Duration, want uint32) bool {
-	_, _, ok := c.awaitSeg(timeout, func(h *packet.TCPHeader) bool {
+	pkt, _, ok := c.awaitSeg(timeout, func(h *packet.TCPHeader) bool {
 		return h.HasFlags(packet.FlagACK) && !h.HasFlags(packet.FlagSYN|packet.FlagRST) && h.Ack == want
 	})
+	if ok {
+		c.p.release(pkt)
+	}
 	return ok
 }
 

@@ -142,10 +142,11 @@ func (p *Prober) sctSample(c *conn, base *uint32, o SCTOptions) Sample {
 
 // collectAcks gathers up to n pure-ACK values on the connection, in arrival
 // order with their frame IDs and the first reply's arrival time, waiting at
-// most timeout for each.
+// most timeout for each. The returned slices are prober-owned scratch,
+// valid until the next collectAcks call.
 func (p *Prober) collectAcks(c *conn, n int, timeout time.Duration) ([]uint32, []uint64, sim.Time) {
-	var acks []uint32
-	var ids []uint64
+	acks := p.acksBuf[:0]
+	ids := p.ackIDs[:0]
 	var firstAt sim.Time
 	for len(acks) < n {
 		pkt, id, ok := c.awaitSeg(timeout, func(h *packet.TCPHeader) bool {
@@ -159,7 +160,9 @@ func (p *Prober) collectAcks(c *conn, n int, timeout time.Duration) ([]uint32, [
 		}
 		acks = append(acks, pkt.TCP.Ack)
 		ids = append(ids, id)
+		p.release(pkt)
 	}
+	p.acksBuf, p.ackIDs = acks, ids
 	return acks, ids, firstAt
 }
 

@@ -84,7 +84,8 @@ func (p *Prober) synSample(o SYNOptions) Sample {
 
 	// Collect up to two replies on this 4-tuple in arrival order. A few
 	// implementations send two RSTs; the extra reply is flushed afterward.
-	var replies []*packet.Packet
+	// The slice is prober-owned scratch, reused across samples.
+	replies := p.synReplies[:0]
 	deadline := p.tp.Now().Add(o.ReplyTimeout)
 	for len(replies) < 2 {
 		remaining := deadline.Sub(p.tp.Now())
@@ -117,6 +118,10 @@ func (p *Prober) synSample(o SYNOptions) Sample {
 			break
 		}
 	}
+	for _, r := range replies {
+		p.release(r)
+	}
+	p.synReplies = replies[:0]
 	p.flushPort(lport)
 	return s
 }

@@ -82,14 +82,16 @@ func (p *Prober) DataTransferTest(o TransferOptions) (*Result, error) {
 		if !ok {
 			break
 		}
-		if pkt.TCP.HasFlags(packet.FlagRST) {
+		rst := pkt.TCP.HasFlags(packet.FlagRST)
+		n := uint32(len(pkt.Payload))
+		seq := pkt.TCP.Seq
+		p.release(pkt)
+		if rst {
 			break
 		}
-		n := uint32(len(pkt.Payload))
 		if n == 0 {
 			continue
 		}
-		seq := pkt.TCP.Seq
 		if end := seq + n; packet.SeqGT(end, maxEnd) {
 			maxEnd = end
 		}

@@ -43,6 +43,9 @@ type Host struct {
 	tokens     float64
 	lastRefill sim.Time
 
+	arena  *netem.Arena
+	encBuf []byte
+
 	echoesAnswered uint64
 	echoesDropped  uint64
 }
@@ -62,6 +65,13 @@ func New(loop *sim.Loop, p Profile, addr netip.Addr, rng *sim.Rand, ids *netem.F
 	return h
 }
 
+// SetArena directs the host (and its TCP stack) to allocate transmitted
+// datagrams and frames from a, typically the owning scenario's arena.
+func (h *Host) SetArena(a *netem.Arena) {
+	h.arena = a
+	h.Stack.SetArena(a)
+}
+
 // Addr returns the host's address.
 func (h *Host) Addr() netip.Addr { return h.addr }
 
@@ -72,17 +82,20 @@ func (h *Host) IPIDPolicy() string { return h.gen.Name() }
 func (h *Host) EchoesAnswered() uint64 { return h.echoesAnswered }
 
 // Input implements netem.Node: frames from the network. Fragmented
-// datagrams are reassembled first, as the host's IP layer would.
+// datagrams are reassembled first, as the host's IP layer would; the
+// reassembler is built lazily so fragment-free scenarios never pay for it.
 func (h *Host) Input(f *netem.Frame) {
-	if h.reasm == nil {
-		h.reasm = packet.NewReassembler()
-	}
-	whole, err := h.reasm.Input(f.Data)
-	if err != nil || whole == nil {
-		return // malformed, or waiting for more fragments
-	}
-	if len(whole) != len(f.Data) {
-		f = &netem.Frame{ID: f.ID, Data: whole, Born: f.Born}
+	if h.reasm != nil || packet.IsFragment(f.Data) {
+		if h.reasm == nil {
+			h.reasm = packet.NewReassembler()
+		}
+		whole, err := h.reasm.Input(f.Data)
+		if err != nil || whole == nil {
+			return // malformed, or waiting for more fragments
+		}
+		if len(whole) != len(f.Data) {
+			f = &netem.Frame{ID: f.ID, Data: whole, Born: f.Born}
+		}
 	}
 	flow, ok := packet.PeekFlow(f.Data)
 	if !ok || flow.Dst != h.addr {
@@ -133,14 +146,15 @@ func (h *Host) handleICMP(f *netem.Frame) {
 		Type: packet.ICMPEchoReply, Ident: p.ICMP.Ident, Seq: p.ICMP.Seq,
 		Payload: p.ICMP.Payload,
 	}
-	raw, err := packet.EncodeICMP(&packet.IPv4Header{
+	buf, err := packet.AppendICMP(h.encBuf[:0], &packet.IPv4Header{
 		Src: h.addr, Dst: p.IP.Src, ID: h.gen.Next(p.IP.Src),
 	}, reply)
 	if err != nil {
 		return
 	}
+	h.encBuf = buf[:0]
 	h.echoesAnswered++
-	h.out.Input(&netem.Frame{ID: h.ids.Next(), Data: raw, Born: h.loop.Now()})
+	h.out.Input(h.arena.NewFrame(h.ids.Next(), h.arena.CopyBytes(buf), h.loop.Now()))
 }
 
 // takeToken implements the ICMP rate limiter as a token bucket refilled in

@@ -38,18 +38,24 @@ func (l *Loss) Input(f *Frame) {
 // jitter can itself reorder closely spaced packets — which is sometimes the
 // point, and is why the controlled-validation topology uses jitter of zero.
 type Delay struct {
-	loop   *sim.Loop
-	next   Node
-	rng    *sim.Rand
-	base   time.Duration
-	jitter time.Duration
-	stats  Counters
+	loop      *sim.Loop
+	next      Node
+	rng       *sim.Rand
+	base      time.Duration
+	jitter    time.Duration
+	stats     Counters
+	deliverFn func(any)
 }
 
 // NewDelay returns a delay element feeding next. Each frame is delayed by
 // base plus a uniform draw in [0, jitter).
 func NewDelay(loop *sim.Loop, base, jitter time.Duration, rng *sim.Rand, next Node) *Delay {
-	return &Delay{loop: loop, next: next, rng: rng, base: base, jitter: jitter}
+	d := &Delay{loop: loop, next: next, rng: rng, base: base, jitter: jitter}
+	d.deliverFn = func(arg any) {
+		d.stats.Out++
+		d.next.Input(arg.(*Frame))
+	}
+	return d
 }
 
 // Stats returns a snapshot of the element's counters.
@@ -62,8 +68,5 @@ func (d *Delay) Input(f *Frame) {
 	if d.jitter > 0 {
 		delay += time.Duration(d.rng.Float64() * float64(d.jitter))
 	}
-	d.loop.Schedule(delay, func() {
-		d.stats.Out++
-		d.next.Input(f)
-	})
+	d.loop.ScheduleArg(delay, d.deliverFn, f)
 }

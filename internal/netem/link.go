@@ -29,11 +29,22 @@ type Link struct {
 
 	busyUntil sim.Time // when the transmitter frees up
 	queued    int      // frames queued or in transmission
+
+	// departFn and deliverFn are scheduled via AtArg with the frame as
+	// argument, so per-frame forwarding allocates no closures.
+	departFn  func(any)
+	deliverFn func(any)
 }
 
 // NewLink returns a link feeding next.
 func NewLink(loop *sim.Loop, cfg LinkConfig, next Node) *Link {
-	return &Link{cfg: cfg, loop: loop, next: next}
+	l := &Link{cfg: cfg, loop: loop, next: next}
+	l.departFn = func(any) { l.queued-- }
+	l.deliverFn = func(arg any) {
+		l.stats.Out++
+		l.next.Input(arg.(*Frame))
+	}
+	return l
 }
 
 // Stats returns a snapshot of the link's counters.
@@ -63,9 +74,6 @@ func (l *Link) Input(f *Frame) {
 	l.busyUntil = departure
 	l.queued++
 	arrival := departure.Add(l.cfg.PropDelay)
-	l.loop.At(departure, func() { l.queued-- })
-	l.loop.At(arrival, func() {
-		l.stats.Out++
-		l.next.Input(f)
-	})
+	l.loop.AtArg(departure, l.departFn, nil)
+	l.loop.AtArg(arrival, l.deliverFn, f)
 }

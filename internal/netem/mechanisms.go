@@ -38,6 +38,7 @@ type MultiPath struct {
 	// lastArrival enforces per-member FIFO.
 	lastArrival []sim.Time
 	stats       Counters
+	deliverFn   func(any)
 }
 
 // NewMultiPath returns a sprayer feeding next.
@@ -45,10 +46,15 @@ func NewMultiPath(loop *sim.Loop, cfg MultiPathConfig, rng *sim.Rand, next Node)
 	if len(cfg.Delays) == 0 {
 		cfg.Delays = []time.Duration{time.Millisecond, time.Millisecond + 100*time.Microsecond}
 	}
-	return &MultiPath{
+	m := &MultiPath{
 		cfg: cfg, loop: loop, next: next, rng: rng,
 		lastArrival: make([]sim.Time, len(cfg.Delays)),
 	}
+	m.deliverFn = func(arg any) {
+		m.stats.Out++
+		m.next.Input(arg.(*Frame))
+	}
+	return m
 }
 
 // Stats returns a snapshot of the element's counters.
@@ -68,10 +74,7 @@ func (m *MultiPath) Input(f *Frame) {
 		at = m.lastArrival[i] // FIFO within a member path
 	}
 	m.lastArrival[i] = at
-	m.loop.At(at, func() {
-		m.stats.Out++
-		m.next.Input(f)
-	})
+	m.loop.AtArg(at, m.deliverFn, f)
 }
 
 // ARQConfig describes a layer-2 link with retransmission, e.g. 802.11.
@@ -111,13 +114,19 @@ type ARQLink struct {
 	stats Counters
 	// release is when the last frame (in send order) will be delivered,
 	// used for the InOrder variant.
-	release sim.Time
+	release   sim.Time
+	deliverFn func(any)
 }
 
 // NewARQLink returns an ARQ link feeding next.
 func NewARQLink(loop *sim.Loop, cfg ARQConfig, rng *sim.Rand, next Node) *ARQLink {
 	cfg.setDefaults()
-	return &ARQLink{cfg: cfg, loop: loop, next: next, rng: rng}
+	l := &ARQLink{cfg: cfg, loop: loop, next: next, rng: rng}
+	l.deliverFn = func(arg any) {
+		l.stats.Out++
+		l.next.Input(arg.(*Frame))
+	}
+	return l
 }
 
 // Stats returns a snapshot of the element's counters. Swapped counts
@@ -147,10 +156,7 @@ func (l *ARQLink) Input(f *Frame) {
 	if l.cfg.InOrder {
 		l.release = at
 	}
-	l.loop.At(at, func() {
-		l.stats.Out++
-		l.next.Input(f)
-	})
+	l.loop.AtArg(at, l.deliverFn, f)
 }
 
 // PriorityConfig describes a two-class strict-priority scheduler keyed on
@@ -177,6 +183,7 @@ type PriorityQueue struct {
 
 	busyUntil sim.Time
 	high, low []*Frame
+	deliverFn func(any)
 }
 
 // NewPriorityQueue returns a scheduler feeding next.
@@ -187,7 +194,13 @@ func NewPriorityQueue(loop *sim.Loop, cfg PriorityConfig, next Node) *PriorityQu
 	if cfg.RateBps == 0 {
 		cfg.RateBps = 100_000_000
 	}
-	return &PriorityQueue{cfg: cfg, loop: loop, next: next}
+	q := &PriorityQueue{cfg: cfg, loop: loop, next: next}
+	q.deliverFn = func(arg any) {
+		q.stats.Out++
+		q.next.Input(arg.(*Frame))
+		q.kick()
+	}
+	return q
 }
 
 // Stats returns a snapshot of the element's counters.
@@ -229,9 +242,5 @@ func (q *PriorityQueue) kick() {
 	}
 	tx := time.Duration(int64(f.Len()) * 8 * int64(time.Second) / q.cfg.RateBps)
 	q.busyUntil = now.Add(tx)
-	q.loop.At(q.busyUntil, func() {
-		q.stats.Out++
-		q.next.Input(f)
-		q.kick()
-	})
+	q.loop.AtArg(q.busyUntil, q.deliverFn, f)
 }

@@ -21,7 +21,8 @@ type Swapper struct {
 	stats Counters
 
 	held       *Frame
-	flushTimer *sim.Timer
+	flushTimer sim.Timer
+	flushFn    func(any)
 }
 
 // DefaultFlushAfter bounds how long a held packet waits for a successor.
@@ -35,7 +36,16 @@ func NewSwapper(loop *sim.Loop, p float64, rng *sim.Rand, next Node) *Swapper {
 // NewSwapperFunc returns a swapper whose probability varies with virtual
 // time, used to model paths whose reordering rate drifts (Fig 6).
 func NewSwapperFunc(loop *sim.Loop, prob func(sim.Time) float64, rng *sim.Rand, next Node) *Swapper {
-	return &Swapper{loop: loop, next: next, rng: rng, prob: prob, flush: DefaultFlushAfter}
+	s := &Swapper{loop: loop, next: next, rng: rng, prob: prob, flush: DefaultFlushAfter}
+	s.flushFn = func(arg any) {
+		f := arg.(*Frame)
+		if s.held == f {
+			s.held = nil
+			s.stats.Out++
+			s.next.Input(f)
+		}
+	}
+	return s
 }
 
 // SetFlushAfter overrides the hold timeout.
@@ -61,13 +71,7 @@ func (s *Swapper) Input(f *Frame) {
 	}
 	if s.rng.Bool(s.prob(s.loop.Now())) {
 		s.held = f
-		s.flushTimer = s.loop.Schedule(s.flush, func() {
-			if s.held == f {
-				s.held = nil
-				s.stats.Out++
-				s.next.Input(f)
-			}
-		})
+		s.flushTimer = s.loop.ScheduleArg(s.flush, s.flushFn, f)
 		return
 	}
 	s.stats.Out++

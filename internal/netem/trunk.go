@@ -55,15 +55,21 @@ type StripedTrunk struct {
 	lastDeparture []sim.Time
 	// lastArrival tracks downstream arrival order to count exchanges.
 	lastArrivalTime sim.Time
+	deliverFn       func(any)
 }
 
 // NewStripedTrunk returns a striped trunk feeding next.
 func NewStripedTrunk(loop *sim.Loop, cfg TrunkConfig, rng *sim.Rand, next Node) *StripedTrunk {
 	cfg.setDefaults()
-	return &StripedTrunk{
+	t := &StripedTrunk{
 		cfg: cfg, loop: loop, next: next, rng: rng,
 		lastDeparture: make([]sim.Time, cfg.FanOut),
 	}
+	t.deliverFn = func(arg any) {
+		t.stats.Out++
+		t.next.Input(arg.(*Frame))
+	}
+	return t
 }
 
 // Stats returns a snapshot of the trunk's counters. Swapped counts frames
@@ -102,10 +108,7 @@ func (t *StripedTrunk) Input(f *Frame) {
 	departure := start.Add(t.txTime(f.Len()))
 	t.lastDeparture[m] = departure
 	arrival := departure.Add(t.cfg.PropDelay)
-	t.loop.At(arrival, func() {
-		t.stats.Out++
-		t.next.Input(f)
-	})
+	t.loop.AtArg(arrival, t.deliverFn, f)
 	// Exchange accounting: this frame will arrive before some earlier frame
 	// iff its arrival precedes the latest arrival already scheduled.
 	if arrival < t.lastArrivalTime {

@@ -90,6 +90,18 @@ func NewReassembler() *Reassembler {
 	return &Reassembler{pending: make(map[reassemblyKey]*reassembly), MaxPending: 256}
 }
 
+// IsFragment reports whether the datagram is an IP fragment (MF set or a
+// nonzero fragment offset). Hosts use it to skip reassembly entirely on
+// unfragmented traffic. Datagrams too short to carry an IPv4 header report
+// false; the decoder rejects those downstream.
+func IsFragment(data []byte) bool {
+	if len(data) < ipv4HeaderLen {
+		return false
+	}
+	ff := binary.BigEndian.Uint16(data[6:8])
+	return ff>>13&FlagMF != 0 || ff&0x1fff != 0
+}
+
 // Pending returns the number of incomplete datagrams held.
 func (r *Reassembler) Pending() int { return len(r.pending) }
 

@@ -26,37 +26,49 @@ type ICMPEcho struct {
 // IsRequest reports whether the message is an echo request.
 func (e *ICMPEcho) IsRequest() bool { return e.Type == ICMPEchoRequest }
 
-// marshal returns the wire encoding with checksum.
-func (e *ICMPEcho) marshal() []byte {
-	b := make([]byte, icmpHeaderLen+len(e.Payload))
+// marshalInto writes the wire encoding with checksum into b, which must be
+// icmpHeaderLen+len(e.Payload) bytes. b may hold stale data: every byte is
+// overwritten, and the checksum field is explicitly cleared before the sum
+// is computed over the buffer.
+func (e *ICMPEcho) marshalInto(b []byte) {
 	b[0] = e.Type
 	b[1] = e.Code
+	b[2], b[3] = 0, 0
 	binary.BigEndian.PutUint16(b[4:6], e.Ident)
 	binary.BigEndian.PutUint16(b[6:8], e.Seq)
 	copy(b[icmpHeaderLen:], e.Payload)
 	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
-	return b
 }
 
 // decodeICMP parses an ICMP echo message, verifying its checksum. Non-echo
-// ICMP types are rejected; the tools never emit or consume them.
+// ICMP types are rejected; the tools never emit or consume them. The
+// payload is copied out of seg.
 func decodeICMP(seg []byte) (*ICMPEcho, error) {
+	e := new(ICMPEcho)
+	if err := decodeICMPInto(e, seg); err != nil {
+		return nil, err
+	}
+	e.Payload = append([]byte(nil), e.Payload...)
+	return e, nil
+}
+
+// decodeICMPInto is decodeICMP writing into a caller-owned struct; the
+// payload aliases seg.
+func decodeICMPInto(e *ICMPEcho, seg []byte) error {
 	if len(seg) < icmpHeaderLen {
-		return nil, fmt.Errorf("%w: %d bytes, need %d for ICMP header", ErrTruncated, len(seg), icmpHeaderLen)
+		return fmt.Errorf("%w: %d bytes, need %d for ICMP header", ErrTruncated, len(seg), icmpHeaderLen)
 	}
 	if Checksum(seg) != 0 {
-		return nil, fmt.Errorf("%w: ICMP message", ErrBadChecksum)
+		return fmt.Errorf("%w: ICMP message", ErrBadChecksum)
 	}
-	e := &ICMPEcho{
-		Type:     seg[0],
-		Code:     seg[1],
-		Checksum: binary.BigEndian.Uint16(seg[2:4]),
-		Ident:    binary.BigEndian.Uint16(seg[4:6]),
-		Seq:      binary.BigEndian.Uint16(seg[6:8]),
-	}
+	e.Type = seg[0]
+	e.Code = seg[1]
+	e.Checksum = binary.BigEndian.Uint16(seg[2:4])
+	e.Ident = binary.BigEndian.Uint16(seg[4:6])
+	e.Seq = binary.BigEndian.Uint16(seg[6:8])
 	if e.Type != ICMPEchoRequest && e.Type != ICMPEchoReply {
-		return nil, fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, e.Type)
+		return fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, e.Type)
 	}
-	e.Payload = append([]byte(nil), seg[icmpHeaderLen:]...)
-	return e, nil
+	e.Payload = seg[icmpHeaderLen:]
+	return nil
 }

@@ -48,46 +48,32 @@ func Decode(data []byte) (*Packet, error) {
 		}
 		p.ICMP = icmp
 	default:
-		return nil, fmt.Errorf("%w: protocol %d", ErrBadHeader, ip.Protocol)
+		return nil, badProtoErr(ip.Protocol)
 	}
 	return p, nil
+}
+
+func badProtoErr(proto uint8) error {
+	return fmt.Errorf("%w: protocol %d", ErrBadHeader, proto)
 }
 
 // EncodeTCP builds a complete IPv4+TCP datagram. ip.TotalLen, checksums and
 // the TCP data offset are computed; ip.Protocol is forced to TCP.
 func EncodeTCP(ip *IPv4Header, tcp *TCPHeader, payload []byte) ([]byte, error) {
-	optLen, err := tcp.optionsWireLen()
+	buf, err := AppendTCP(nil, ip, tcp, payload)
 	if err != nil {
 		return nil, err
 	}
-	segLen := tcpBaseHeaderLen + optLen + len(payload)
-	total := ipv4HeaderLen + segLen
-	buf := make([]byte, total)
-	ip.Protocol = ProtoTCP
-	if err := ip.marshalInto(buf, total); err != nil {
-		return nil, err
-	}
-	seg := buf[ipv4HeaderLen:]
-	tcp.marshalInto(seg, optLen)
-	copy(seg[tcpBaseHeaderLen+optLen:], payload)
-	src, dst := ip.Src.As4(), ip.Dst.As4()
-	csum := transportChecksum(src, dst, ProtoTCP, seg)
-	seg[16] = byte(csum >> 8)
-	seg[17] = byte(csum)
 	return buf, nil
 }
 
 // EncodeICMP builds a complete IPv4+ICMP echo datagram. ip.Protocol is
 // forced to ICMP.
 func EncodeICMP(ip *IPv4Header, echo *ICMPEcho) ([]byte, error) {
-	seg := echo.marshal()
-	total := ipv4HeaderLen + len(seg)
-	buf := make([]byte, total)
-	ip.Protocol = ProtoICMP
-	if err := ip.marshalInto(buf, total); err != nil {
+	buf, err := AppendICMP(nil, ip, echo)
+	if err != nil {
 		return nil, err
 	}
-	copy(buf[ipv4HeaderLen:], seg)
 	return buf, nil
 }
 

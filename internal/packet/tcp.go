@@ -195,38 +195,51 @@ func (h *TCPHeader) marshalInto(buf []byte, optLen int) {
 }
 
 // decodeTCP parses a TCP segment (header + payload) carried between src and
-// dst, verifying the checksum against the pseudo-header.
+// dst, verifying the checksum against the pseudo-header. Option data is
+// copied out of seg.
 func decodeTCP(src, dst [4]byte, seg []byte) (*TCPHeader, []byte, error) {
-	if len(seg) < tcpBaseHeaderLen {
-		return nil, nil, fmt.Errorf("%w: %d bytes, need %d for TCP header", ErrTruncated, len(seg), tcpBaseHeaderLen)
-	}
-	dataOff := int(seg[12]>>4) * 4
-	if dataOff < tcpBaseHeaderLen || dataOff > len(seg) {
-		return nil, nil, fmt.Errorf("%w: TCP data offset %d", ErrBadHeader, dataOff)
-	}
-	if transportChecksum(src, dst, ProtoTCP, seg) != 0 {
-		return nil, nil, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
-	}
-	h := &TCPHeader{
-		SrcPort:  binary.BigEndian.Uint16(seg[0:2]),
-		DstPort:  binary.BigEndian.Uint16(seg[2:4]),
-		Seq:      binary.BigEndian.Uint32(seg[4:8]),
-		Ack:      binary.BigEndian.Uint32(seg[8:12]),
-		Flags:    seg[13] & 0x3f,
-		Window:   binary.BigEndian.Uint16(seg[14:16]),
-		Checksum: binary.BigEndian.Uint16(seg[16:18]),
-		Urgent:   binary.BigEndian.Uint16(seg[18:20]),
-	}
-	opts, err := decodeOptions(seg[tcpBaseHeaderLen:dataOff])
+	h := new(TCPHeader)
+	payload, err := decodeTCPInto(h, src, dst, seg, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	h.Options = opts
-	return h, seg[dataOff:], nil
+	return h, payload, nil
 }
 
-func decodeOptions(b []byte) ([]TCPOption, error) {
-	var opts []TCPOption
+// decodeTCPInto is decodeTCP writing into a caller-owned header, reusing
+// h.Options' backing storage. When copyData is false, option data aliases
+// seg instead of being copied.
+func decodeTCPInto(h *TCPHeader, src, dst [4]byte, seg []byte, copyData bool) ([]byte, error) {
+	if len(seg) < tcpBaseHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, need %d for TCP header", ErrTruncated, len(seg), tcpBaseHeaderLen)
+	}
+	dataOff := int(seg[12]>>4) * 4
+	if dataOff < tcpBaseHeaderLen || dataOff > len(seg) {
+		return nil, fmt.Errorf("%w: TCP data offset %d", ErrBadHeader, dataOff)
+	}
+	if transportChecksum(src, dst, ProtoTCP, seg) != 0 {
+		return nil, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
+	}
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
+	h.Seq = binary.BigEndian.Uint32(seg[4:8])
+	h.Ack = binary.BigEndian.Uint32(seg[8:12])
+	h.Flags = seg[13] & 0x3f
+	h.Window = binary.BigEndian.Uint16(seg[14:16])
+	h.Checksum = binary.BigEndian.Uint16(seg[16:18])
+	h.Urgent = binary.BigEndian.Uint16(seg[18:20])
+	opts, err := appendOptions(h.Options[:0], seg[tcpBaseHeaderLen:dataOff], copyData)
+	if err != nil {
+		h.Options = h.Options[:0]
+		return nil, err
+	}
+	h.Options = opts
+	return seg[dataOff:], nil
+}
+
+// appendOptions parses wire options into opts. A fresh decode passes nil;
+// scratch decoders pass a reused slice truncated to zero length.
+func appendOptions(opts []TCPOption, b []byte, copyData bool) ([]TCPOption, error) {
 	for i := 0; i < len(b); {
 		kind := b[i]
 		switch kind {
@@ -243,8 +256,12 @@ func decodeOptions(b []byte) ([]TCPOption, error) {
 			if l < 2 || i+l > len(b) {
 				return nil, fmt.Errorf("%w: option kind %d length %d", ErrBadHeader, kind, l)
 			}
-			data := make([]byte, l-2)
-			copy(data, b[i+2:i+l])
+			data := b[i+2 : i+l : i+l]
+			if copyData {
+				c := make([]byte, l-2)
+				copy(c, data)
+				data = c
+			}
 			opts = append(opts, TCPOption{Kind: kind, Data: data})
 			i += l
 		}

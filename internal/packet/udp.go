@@ -47,22 +47,30 @@ func EncodeUDP(ip *IPv4Header, udp *UDPHeader, payload []byte) ([]byte, error) {
 // decodeUDP parses a UDP segment, verifying the checksum (zero means the
 // sender opted out, which we accept, as receivers must).
 func decodeUDP(src, dst [4]byte, seg []byte) (*UDPHeader, []byte, error) {
+	h := new(UDPHeader)
+	payload, err := decodeUDPInto(h, src, dst, seg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
+}
+
+// decodeUDPInto is decodeUDP writing into a caller-owned header.
+func decodeUDPInto(h *UDPHeader, src, dst [4]byte, seg []byte) ([]byte, error) {
 	if len(seg) < udpHeaderLen {
-		return nil, nil, fmt.Errorf("%w: %d bytes, need %d for UDP header", ErrTruncated, len(seg), udpHeaderLen)
+		return nil, fmt.Errorf("%w: %d bytes, need %d for UDP header", ErrTruncated, len(seg), udpHeaderLen)
 	}
-	h := &UDPHeader{
-		SrcPort:  binary.BigEndian.Uint16(seg[0:2]),
-		DstPort:  binary.BigEndian.Uint16(seg[2:4]),
-		Length:   binary.BigEndian.Uint16(seg[4:6]),
-		Checksum: binary.BigEndian.Uint16(seg[6:8]),
-	}
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
+	h.Length = binary.BigEndian.Uint16(seg[4:6])
+	h.Checksum = binary.BigEndian.Uint16(seg[6:8])
 	if int(h.Length) < udpHeaderLen || int(h.Length) > len(seg) {
-		return nil, nil, fmt.Errorf("%w: UDP length %d of %d", ErrBadHeader, h.Length, len(seg))
+		return nil, fmt.Errorf("%w: UDP length %d of %d", ErrBadHeader, h.Length, len(seg))
 	}
 	if h.Checksum != 0 {
 		if transportChecksum(src, dst, ProtoUDP, seg[:h.Length]) != 0 {
-			return nil, nil, fmt.Errorf("%w: UDP segment", ErrBadChecksum)
+			return nil, fmt.Errorf("%w: UDP segment", ErrBadChecksum)
 		}
 	}
-	return h, seg[udpHeaderLen:h.Length], nil
+	return seg[udpHeaderLen:h.Length], nil
 }

@@ -7,21 +7,30 @@ import "math/rand/v2"
 // that experiments are exactly reproducible, and adds the small distribution
 // helpers the network model needs.
 type Rand struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 }
 
 // NewRand returns a Rand seeded from the two words. Components derive their
 // own streams via Fork so that adding a component does not perturb the draws
 // seen by others.
 func NewRand(seed1, seed2 uint64) *Rand {
-	return &Rand{r: rand.New(rand.NewPCG(seed1, seed2))}
+	pcg := rand.NewPCG(seed1, seed2)
+	return &Rand{r: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed rewinds the stream to the state NewRand(seed1, seed2) produces,
+// without allocating. Reused scenario arenas call it so a reset run draws
+// exactly the sequence a fresh construction would.
+func (r *Rand) Reseed(seed1, seed2 uint64) {
+	r.pcg.Seed(seed1, seed2)
 }
 
 // Fork returns an independent stream derived from r and a label. Forking is
 // deterministic: the same parent seed and label always produce the same
 // child stream.
 func (r *Rand) Fork(label uint64) *Rand {
-	return &Rand{r: rand.New(rand.NewPCG(r.r.Uint64(), label^0x9e3779b97f4a7c15))}
+	return NewRand(r.r.Uint64(), label^0x9e3779b97f4a7c15)
 }
 
 // Float64 returns a uniform value in [0,1).

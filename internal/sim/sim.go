@@ -7,10 +7,15 @@
 // clock as it goes. Nothing in the simulator sleeps or consults the wall
 // clock, so a run that models 20 days of probing completes in milliseconds
 // and is exactly reproducible given the same seed.
+//
+// The event queue is a slice-backed inline 4-ary min-heap of event values:
+// scheduling allocates nothing on the steady-state path, which matters when
+// a campaign pumps millions of events per second through the probe engine.
+// Timer handles are generation-counted indexes into a free-listed slot
+// table, so cancelling is O(1) without keeping per-event pointers alive.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -32,50 +37,66 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // A Timer is a handle to a scheduled callback. It can be stopped before it
-// fires. The zero Timer is inert.
+// fires. The zero Timer is inert. Timers are small values; copying them is
+// fine, and a Timer outliving its event (or a Loop.Reset) is harmlessly
+// inert because its generation no longer matches.
 type Timer struct {
-	ev *event
+	l    *Loop
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the timer. It reports whether the call prevented the callback
 // from firing. Stopping an already-fired or already-stopped timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+func (t Timer) Stop() bool {
+	if t.l == nil {
 		return false
 	}
-	t.ev.fn = nil
+	s := &t.l.slots[t.slot]
+	if s.gen != t.gen || s.heapIdx < 0 {
+		return false
+	}
+	ev := &t.l.events[s.heapIdx]
+	if ev.fn == nil && ev.afn == nil {
+		return false
+	}
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
-
-type event struct {
-	at  Time
-	seq uint64 // FIFO tie-break for events at the same instant
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (t Timer) Pending() bool {
+	if t.l == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	s := &t.l.slots[t.slot]
+	if s.gen != t.gen || s.heapIdx < 0 {
+		return false
+	}
+	ev := &t.l.events[s.heapIdx]
+	return ev.fn != nil || ev.afn != nil
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+// event is one scheduled callback. Exactly one of fn and afn is non-nil for
+// a live event; both nil marks a cancelled event awaiting drain. afn+arg is
+// the allocation-free form: a pointer-shaped arg boxed into an interface
+// does not allocate, so elements that forward frames can schedule with one
+// long-lived callback instead of a fresh closure per frame.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for events at the same instant
+	fn   func()
+	afn  func(any)
+	arg  any
+	slot int32
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// slotState backs one Timer handle. heapIdx tracks where the event
+// currently sits in the heap (-1 once it has fired or drained); gen
+// invalidates stale handles when the slot is reused.
+type slotState struct {
+	heapIdx int32
+	gen     uint32
 }
 
 // Loop is a discrete-event scheduler. It is not safe for concurrent use;
@@ -83,13 +104,36 @@ func (h *eventHeap) Pop() any {
 // runs single-threaded on one Loop.
 type Loop struct {
 	now    Time
-	events eventHeap
+	events []event // inline 4-ary min-heap ordered by (at, seq)
 	seq    uint64
 	ran    uint64
+
+	slots    []slotState
+	freeSlot []int32
 }
 
 // NewLoop returns a Loop with the clock at time zero and no pending events.
 func NewLoop() *Loop { return &Loop{} }
+
+// Reset returns the loop to its initial state — clock at zero, no pending
+// events, counters cleared — while keeping the heap and slot-table capacity
+// for reuse. Every outstanding Timer is invalidated (its slot generation is
+// bumped), so handles from the previous run can never cancel events of the
+// next one. A Reset loop is indistinguishable from a NewLoop one.
+func (l *Loop) Reset() {
+	for i := range l.events {
+		ev := &l.events[i]
+		l.slots[ev.slot].gen++
+		ev.fn, ev.afn, ev.arg = nil, nil, nil
+	}
+	l.events = l.events[:0]
+	l.freeSlot = l.freeSlot[:0]
+	for i := range l.slots {
+		l.slots[i].heapIdx = -1
+		l.freeSlot = append(l.freeSlot, int32(i))
+	}
+	l.now, l.seq, l.ran = 0, 0, 0
+}
 
 // Now returns the current virtual time.
 func (l *Loop) Now() Time { return l.now }
@@ -105,26 +149,135 @@ func (l *Loop) Processed() uint64 { return l.ran }
 // delay is treated as zero (the event runs at the current instant, after any
 // earlier-scheduled events at the same instant). It returns a Timer that can
 // cancel the callback.
-func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
+func (l *Loop) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return l.At(l.now.Add(d), fn)
 }
 
+// ScheduleArg is Schedule for a long-lived callback taking an argument; see
+// AtArg.
+func (l *Loop) ScheduleArg(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.AtArg(l.now.Add(d), fn, arg)
+}
+
 // At arranges for fn to run at absolute virtual time t. Times in the past
 // are clamped to the present.
-func (l *Loop) At(t Time, fn func()) *Timer {
+func (l *Loop) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
+	return l.push(t, fn, nil, nil)
+}
+
+// AtArg arranges for fn(arg) to run at absolute virtual time t. Unlike At
+// with a fresh closure, a long-lived fn plus a pointer-shaped arg schedules
+// without allocating — the fast path network elements use to forward frames.
+func (l *Loop) AtArg(t Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: AtArg called with nil callback")
+	}
+	return l.push(t, nil, fn, arg)
+}
+
+// push allocates a slot and sifts the new event into the heap.
+func (l *Loop) push(t Time, fn func(), afn func(any), arg any) Timer {
 	if t < l.now {
 		t = l.now
 	}
-	ev := &event{at: t, seq: l.seq, fn: fn}
+	var slot int32
+	if n := len(l.freeSlot); n > 0 {
+		slot = l.freeSlot[n-1]
+		l.freeSlot = l.freeSlot[:n-1]
+	} else {
+		slot = int32(len(l.slots))
+		l.slots = append(l.slots, slotState{})
+	}
+	i := int32(len(l.events))
+	l.events = append(l.events, event{at: t, seq: l.seq, fn: fn, afn: afn, arg: arg, slot: slot})
 	l.seq++
-	heap.Push(&l.events, ev)
-	return &Timer{ev: ev}
+	l.slots[slot].heapIdx = i
+	l.siftUp(i)
+	return Timer{l: l, slot: slot, gen: l.slots[slot].gen}
+}
+
+// less orders events by timestamp, then scheduling order. The key is unique
+// per event, so heap pop order is a total order identical to the previous
+// container/heap implementation's.
+func (l *Loop) less(i, j int32) bool {
+	a, b := &l.events[i], &l.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (l *Loop) swap(i, j int32) {
+	l.events[i], l.events[j] = l.events[j], l.events[i]
+	l.slots[l.events[i].slot].heapIdx = i
+	l.slots[l.events[j].slot].heapIdx = j
+}
+
+const heapArity = 4
+
+func (l *Loop) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !l.less(i, parent) {
+			break
+		}
+		l.swap(i, parent)
+		i = parent
+	}
+}
+
+func (l *Loop) siftDown(i int32) {
+	n := int32(len(l.events))
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if l.less(c, min) {
+				min = c
+			}
+		}
+		if !l.less(min, i) {
+			return
+		}
+		l.swap(i, min)
+		i = min
+	}
+}
+
+// popMin removes and returns the earliest event, releasing its slot.
+func (l *Loop) popMin() event {
+	ev := l.events[0]
+	n := int32(len(l.events)) - 1
+	if n > 0 {
+		l.events[0] = l.events[n]
+		l.slots[l.events[0].slot].heapIdx = 0
+	}
+	l.events[n] = event{} // release fn/arg references
+	l.events = l.events[:n]
+	if n > 0 {
+		l.siftDown(0)
+	}
+	s := &l.slots[ev.slot]
+	s.heapIdx = -1
+	s.gen++
+	l.freeSlot = append(l.freeSlot, ev.slot)
+	return ev
 }
 
 // Step executes the earliest pending event, advancing the clock to its
@@ -132,14 +285,16 @@ func (l *Loop) At(t Time, fn func()) *Timer {
 // skipped without being counted.
 func (l *Loop) Step() bool {
 	for len(l.events) > 0 {
-		ev := heap.Pop(&l.events).(*event)
-		if ev.fn == nil {
+		ev := l.popMin()
+		if ev.fn == nil && ev.afn == nil {
 			continue // cancelled
 		}
 		l.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.afn(ev.arg)
+		}
 		l.ran++
 		return true
 	}
@@ -151,8 +306,8 @@ func (l *Loop) Step() bool {
 // they fall within the horizon.
 func (l *Loop) RunUntil(t Time) {
 	for {
-		ev := l.peek()
-		if ev == nil || ev.at > t {
+		at, ok := l.peek()
+		if !ok || at > t {
 			break
 		}
 		l.Step()
@@ -183,21 +338,17 @@ func (l *Loop) RunUntilIdle(maxEvents uint64) {
 // NextEventAt returns the timestamp of the earliest pending event, if any.
 // Synchronous drivers (the probe transport) use it to decide whether pumping
 // the loop can make progress before a deadline.
-func (l *Loop) NextEventAt() (Time, bool) {
-	ev := l.peek()
-	if ev == nil {
-		return 0, false
-	}
-	return ev.at, true
-}
+func (l *Loop) NextEventAt() (Time, bool) { return l.peek() }
 
-func (l *Loop) peek() *event {
+// peek returns the timestamp of the earliest live event, draining cancelled
+// events from the head of the heap as it looks.
+func (l *Loop) peek() (Time, bool) {
 	for len(l.events) > 0 {
-		ev := l.events[0]
-		if ev.fn != nil {
-			return ev
+		ev := &l.events[0]
+		if ev.fn != nil || ev.afn != nil {
+			return ev.at, true
 		}
-		heap.Pop(&l.events)
+		l.popMin()
 	}
-	return nil
+	return 0, false
 }

@@ -18,26 +18,40 @@ type Probe struct {
 	net    *Net
 	addr   netip.Addr
 	egress netem.Node
-	inbox  []*netem.Frame
-	reasm  *packet.Reassembler
+	// inbox is a head-indexed queue so steady-state receive pops without
+	// reslicing the backing array away from reuse.
+	inbox     []*netem.Frame
+	inboxHead int
+	reasm     *packet.Reassembler
+}
+
+// reset clears the probe's receive state for scenario reuse.
+func (p *Probe) reset() {
+	p.inbox = p.inbox[:0]
+	p.inboxHead = 0
+	p.reasm = nil
+	p.egress = nil
 }
 
 // deliver is the reverse path's terminal node. Fragmented datagrams are
-// reassembled here, the probe host's IP layer.
+// reassembled here, the probe host's IP layer; the reassembler is built
+// lazily so fragment-free scenarios never pay for it.
 func (p *Probe) deliver(f *netem.Frame) {
 	if p.net.endpoint != nil {
 		p.net.endpoint.Input(f)
 		return
 	}
-	if p.reasm == nil {
-		p.reasm = packet.NewReassembler()
-	}
-	whole, err := p.reasm.Input(f.Data)
-	if err != nil || whole == nil {
-		return // malformed, or waiting for more fragments
-	}
-	if len(whole) != len(f.Data) {
-		f = &netem.Frame{ID: f.ID, Data: whole, Born: f.Born}
+	if p.reasm != nil || packet.IsFragment(f.Data) {
+		if p.reasm == nil {
+			p.reasm = packet.NewReassembler()
+		}
+		whole, err := p.reasm.Input(f.Data)
+		if err != nil || whole == nil {
+			return // malformed, or waiting for more fragments
+		}
+		if len(whole) != len(f.Data) {
+			f = &netem.Frame{ID: f.ID, Data: whole, Born: f.Born}
+		}
 	}
 	p.inbox = append(p.inbox, f)
 }
@@ -46,10 +60,12 @@ func (p *Probe) deliver(f *netem.Frame) {
 func (p *Probe) LocalAddr() netip.Addr { return p.addr }
 
 // Send injects one raw IP datagram and returns its network frame ID, which
-// ground-truth captures key on.
+// ground-truth captures key on. The bytes are copied into the scenario's
+// arena, so the caller may reuse data immediately (the Transport contract).
 func (p *Probe) Send(data []byte) uint64 {
 	id := p.net.IDs.Next()
-	p.egress.Input(&netem.Frame{ID: id, Data: data, Born: p.net.Loop.Now()})
+	a := p.net.arena
+	p.egress.Input(a.NewFrame(id, a.CopyBytes(data), p.net.Loop.Now()))
 	return id
 }
 
@@ -59,7 +75,7 @@ func (p *Probe) Send(data []byte) uint64 {
 func (p *Probe) Recv(timeout time.Duration) ([]byte, uint64, bool) {
 	loop := p.net.Loop
 	deadline := loop.Now().Add(timeout)
-	for len(p.inbox) == 0 {
+	for p.inboxHead == len(p.inbox) {
 		at, ok := loop.NextEventAt()
 		if !ok || at > deadline {
 			loop.RunUntil(deadline)
@@ -67,11 +83,16 @@ func (p *Probe) Recv(timeout time.Duration) ([]byte, uint64, bool) {
 		}
 		loop.Step()
 	}
-	if len(p.inbox) == 0 {
+	if p.inboxHead == len(p.inbox) {
 		return nil, 0, false
 	}
-	f := p.inbox[0]
-	p.inbox = p.inbox[1:]
+	f := p.inbox[p.inboxHead]
+	p.inbox[p.inboxHead] = nil
+	p.inboxHead++
+	if p.inboxHead == len(p.inbox) {
+		p.inbox = p.inbox[:0]
+		p.inboxHead = 0
+	}
 	return f.Data, f.ID, true
 }
 
@@ -83,4 +104,7 @@ func (p *Probe) Sleep(d time.Duration) { p.net.Loop.RunFor(d) }
 func (p *Probe) Now() sim.Time { return p.net.Loop.Now() }
 
 // Flush discards any queued received packets (between tests).
-func (p *Probe) Flush() { p.inbox = nil }
+func (p *Probe) Flush() {
+	p.inbox = p.inbox[:0]
+	p.inboxHead = 0
+}

@@ -71,6 +71,13 @@ type Config struct {
 	Backends []host.Profile
 	// LBMode selects the balancing strategy (default HashFourTuple).
 	LBMode netem.BalanceMode
+	// DisableCaptures skips wiring the four ground-truth capture taps.
+	// Taps are synchronous pass-throughs — they schedule no events and
+	// consume no randomness — so disabling them changes nothing observable
+	// about a measurement; campaigns, which never read captures, set this
+	// to shed per-frame recording cost. The Net's capture fields remain
+	// non-nil but stay empty.
+	DisableCaptures bool
 }
 
 // Net is a wired-up scenario.
@@ -95,6 +102,11 @@ type Net struct {
 	endpoint   netem.Node // event-driven replacement for the probe inbox
 	probeAddr  netip.Addr
 	serverAddr netip.Addr
+
+	// arena supplies the frames and wire bytes of everything transmitted
+	// in this scenario; Reset rewinds it, which is what makes a reused Net
+	// allocation-free at steady state.
+	arena *netem.Arena
 }
 
 // Default addressing: one probe, one published server address.
@@ -105,10 +117,8 @@ var (
 
 // New builds the scenario.
 func New(cfg Config) *Net {
-	loop := sim.NewLoop()
-	rng := sim.NewRand(cfg.Seed, 0x5eed)
 	n := &Net{
-		Loop:         loop,
+		Loop:         sim.NewLoop(),
 		IDs:          &netem.FrameIDs{},
 		ProbeEgress:  trace.NewCapture("probe-egress"),
 		HostIngress:  trace.NewCapture("host-ingress"),
@@ -116,15 +126,57 @@ func New(cfg Config) *Net {
 		ProbeIngress: trace.NewCapture("probe-ingress"),
 		probeAddr:    DefaultProbeAddr,
 		serverAddr:   DefaultServerAddr,
+		arena:        &netem.Arena{},
 	}
-
 	n.probe = &Probe{net: n, addr: n.probeAddr}
+	n.build(cfg)
+	return n
+}
+
+// Reset rewinds the scenario containers — event loop, frame arena, frame
+// IDs, captures, probe inbox — and rebuilds the topology for cfg, exactly
+// as New would. A reset Net is observably identical to a fresh New(cfg):
+// construction consumes the seed's random streams in the same order, the
+// clock restarts at zero and frame IDs restart at one. Campaign workers
+// reuse one Net across thousands of targets this way, turning per-target
+// scenario construction from the dominant allocation cost into a handful
+// of small element structs.
+func (n *Net) Reset(cfg Config) {
+	n.Loop.Reset()
+	n.arena.Reset()
+	*n.IDs = netem.FrameIDs{}
+	n.ProbeEgress.Reset()
+	n.HostIngress.Reset()
+	n.HostEgress.Reset()
+	n.ProbeIngress.Reset()
+	n.Hosts = n.Hosts[:0]
+	n.LB = nil
+	n.endpoint = nil
+	n.probe.reset()
+	n.build(cfg)
+}
+
+// build wires the topology for cfg onto the (fresh or reset) containers.
+// The order of random-stream forks here is part of the hermeticity
+// contract: Reset must consume cfg.Seed's streams exactly as New does.
+func (n *Net) build(cfg Config) {
+	loop := n.Loop
+	rng := sim.NewRand(cfg.Seed, 0x5eed)
+
+	// tap wires a capture point, or passes through untapped when captures
+	// are disabled.
+	tap := func(c *trace.Capture, next netem.Node) netem.Node {
+		if cfg.DisableCaptures {
+			return next
+		}
+		return c.Tap(loop, next)
+	}
 
 	// Reverse direction: host egress tap -> reverse path -> probe ingress
 	// tap -> probe inbox.
 	probeSink := netem.NodeFunc(func(f *netem.Frame) { n.probe.deliver(f) })
-	revEntry := buildPath(loop, rng.Fork(2), cfg.Reverse.defaults(), n.ProbeIngress.Tap(loop, probeSink))
-	hostOut := n.HostEgress.Tap(loop, revEntry)
+	revEntry := buildPath(loop, rng.Fork(2), cfg.Reverse.defaults(), tap(n.ProbeIngress, probeSink))
+	hostOut := tap(n.HostEgress, revEntry)
 
 	// Servers.
 	var serverSide netem.Node
@@ -132,6 +184,7 @@ func New(cfg Config) *Net {
 		backends := make([]netem.Node, len(cfg.Backends))
 		for i, p := range cfg.Backends {
 			h := host.New(loop, p, n.serverAddr, rng.Fork(uint64(100+i)), n.IDs, hostOut)
+			h.SetArena(n.arena)
 			n.Hosts = append(n.Hosts, h)
 			backends[i] = h
 		}
@@ -139,16 +192,15 @@ func New(cfg Config) *Net {
 		serverSide = n.LB
 	} else {
 		h := host.New(loop, cfg.Server, n.serverAddr, rng.Fork(100), n.IDs, hostOut)
+		h.SetArena(n.arena)
 		n.Hosts = append(n.Hosts, h)
 		serverSide = h
 	}
 
 	// Forward direction: probe egress tap -> forward path -> host ingress
 	// tap -> server side.
-	fwdEntry := buildPath(loop, rng.Fork(1), cfg.Forward.defaults(), n.HostIngress.Tap(loop, serverSide))
-	n.probe.egress = n.ProbeEgress.Tap(loop, fwdEntry)
-
-	return n
+	fwdEntry := buildPath(loop, rng.Fork(1), cfg.Forward.defaults(), tap(n.HostIngress, serverSide))
+	n.probe.egress = tap(n.ProbeEgress, fwdEntry)
 }
 
 // buildPath composes a direction's elements ending at dst and returns the

@@ -138,8 +138,14 @@ type Sender struct {
 	inRecovery bool
 	recover    uint32 // NewReno recovery point
 
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
 	rtoBackoff time.Duration
+
+	// Per-connection scratch: encode buffer, payload buffer and optional
+	// arena, so steady-state transmission does not allocate per segment.
+	arena      *netem.Arena
+	encBuf     []byte
+	payloadBuf []byte
 
 	// Spurious-retransmit detection state.
 	minRTT       time.Duration
@@ -168,6 +174,10 @@ func New(loop *sim.Loop, cfg Config, local, remote netip.Addr, ids *netem.FrameI
 
 // OnDone registers a completion callback.
 func (s *Sender) OnDone(fn func()) { s.onDone = fn }
+
+// SetArena directs the sender to allocate transmitted datagrams and frames
+// from a. A nil arena (the default) falls back to the garbage collector.
+func (s *Sender) SetArena(a *netem.Arena) { s.arena = a }
 
 // SetOutput sets the forward-path entry the sender transmits into. It
 // exists because simnet.AttachEndpoint needs the sender (as the reverse
@@ -411,7 +421,7 @@ func (s *Sender) trySend() {
 		s.sendData(s.sndNxt, n)
 		s.sndNxt += n
 	}
-	if packet.SeqLT(s.sndUna, s.sndNxt) && (s.rtoTimer == nil || !s.rtoTimer.Pending()) {
+	if packet.SeqLT(s.sndUna, s.sndNxt) && !s.rtoTimer.Pending() {
 		s.armRTO()
 	}
 }
@@ -419,7 +429,10 @@ func (s *Sender) trySend() {
 // sendData transmits payload bytes [seq, seq+n). Content avoids '\n' so
 // the receiving stack's request-triggered application stays dormant.
 func (s *Sender) sendData(seq, n uint32) {
-	payload := make([]byte, n)
+	if cap(s.payloadBuf) < int(n) {
+		s.payloadBuf = make([]byte, n)
+	}
+	payload := s.payloadBuf[:n]
 	for i := range payload {
 		payload[i] = 'a' + byte((seq+uint32(i))%25)
 	}
@@ -432,11 +445,12 @@ func (s *Sender) transmit(flags uint8, seq, ack uint32, payload []byte, opts []p
 		Seq: seq, Ack: ack, Flags: flags, Window: 65535, Options: opts,
 	}
 	ip := &packet.IPv4Header{Src: s.local, Dst: s.remote, ID: s.rng.Uint16(), Flags: packet.FlagDF}
-	raw, err := packet.EncodeTCP(ip, hdr, payload)
+	buf, err := packet.AppendTCP(s.encBuf[:0], ip, hdr, payload)
 	if err != nil {
 		panic("tcpsender: encode: " + err.Error())
 	}
-	s.out.Input(&netem.Frame{ID: s.ids.Next(), Data: raw, Born: s.loop.Now()})
+	s.encBuf = buf[:0]
+	s.out.Input(s.arena.NewFrame(s.ids.Next(), s.arena.CopyBytes(buf), s.loop.Now()))
 }
 
 func (s *Sender) observeRTT(rtt time.Duration) {
@@ -451,10 +465,7 @@ func (s *Sender) armRTO() {
 }
 
 func (s *Sender) stopRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Stop()
 }
 
 func min(a, b int) int {

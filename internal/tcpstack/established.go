@@ -3,7 +3,6 @@ package tcpstack
 import (
 	"net/netip"
 
-	"reorder/internal/netem"
 	"reorder/internal/packet"
 )
 
@@ -27,11 +26,12 @@ func (s *Stack) handleEstablished(k packet.FlowKey, c *conn, p *packet.Packet) {
 		if hdr.Seq == c.rcvNxt {
 			c.rcvNxt++
 			s.stats.AcksSent++
-			s.transmit(c.peer, &packet.TCPHeader{
-				SrcPort: c.lport, DstPort: c.pport,
-				Seq: c.sndNxt, Ack: c.rcvNxt,
-				Flags: packet.FlagFIN | packet.FlagACK, Window: s.cfg.Window,
-			}, nil)
+			h := s.outHdr()
+			h.SrcPort, h.DstPort = c.lport, c.pport
+			h.Seq, h.Ack = c.sndNxt, c.rcvNxt
+			h.Flags = packet.FlagFIN | packet.FlagACK
+			h.Window = s.cfg.Window
+			s.transmit(c.peer, h, nil)
 			s.dropConn(k, c)
 		}
 	}
@@ -47,10 +47,7 @@ func (s *Stack) processAck(c *conn, hdr *packet.TCPHeader) {
 	c.peerWnd = uint32(hdr.Window)
 	if packet.SeqGT(hdr.Ack, c.sndUna) && packet.SeqLEQ(hdr.Ack, c.sndNxt) {
 		c.sndUna = hdr.Ack
-		if c.rtxTimer != nil {
-			c.rtxTimer.Stop()
-			c.rtxTimer = nil
-		}
+		c.rtxTimer.Stop()
 	}
 	if c.serving {
 		s.pump(c)
@@ -99,11 +96,8 @@ func (s *Stack) processData(c *conn, p *packet.Packet) {
 			s.sendAck(c, false)
 			return
 		}
-		if c.delackTimer == nil || !c.delackTimer.Pending() {
-			c.delackTimer = s.loop.Schedule(s.cfg.DelAckTimeout, func() {
-				s.stats.DelayedAcks++
-				s.sendAck(c, false)
-			})
+		if !c.delackTimer.Pending() {
+			c.delackTimer = s.loop.ScheduleArg(s.cfg.DelAckTimeout, s.delackFn, c)
 		}
 	}
 }
@@ -182,25 +176,26 @@ func (s *Stack) mergeOOO(c *conn) bool {
 // immediate marks ACKs forced by OOO data, hole fills, or duplicates; they
 // cancel any pending delayed ACK.
 func (s *Stack) sendAck(c *conn, immediate bool) {
-	if c.delackTimer != nil {
-		c.delackTimer.Stop()
-		c.delackTimer = nil
-	}
+	c.delackTimer.Stop()
 	c.delackCount = 0
-	hdr := &packet.TCPHeader{
-		SrcPort: c.lport, DstPort: c.pport,
-		Seq: c.sndNxt, Ack: c.rcvNxt,
-		Flags: packet.FlagACK, Window: s.cfg.Window,
-	}
+	hdr := s.outHdr()
+	hdr.SrcPort, hdr.DstPort = c.lport, c.pport
+	hdr.Seq, hdr.Ack = c.sndNxt, c.rcvNxt
+	hdr.Flags, hdr.Window = packet.FlagACK, s.cfg.Window
 	if c.sackOK && len(c.sack) > 0 {
 		n := len(c.sack)
 		if n > 3 {
 			n = 3
 		}
-		hdr.Options = []packet.TCPOption{
-			{Kind: packet.OptNOP}, {Kind: packet.OptNOP},
-			packet.SACKOption(c.sack[:n]),
+		d := s.sackBuf[:0]
+		for _, b := range c.sack[:n] {
+			d = append(d, byte(b.Left>>24), byte(b.Left>>16), byte(b.Left>>8), byte(b.Left),
+				byte(b.Right>>24), byte(b.Right>>16), byte(b.Right>>8), byte(b.Right))
 		}
+		s.sackBuf = d
+		hdr.Options = append(hdr.Options,
+			packet.TCPOption{Kind: packet.OptNOP}, packet.TCPOption{Kind: packet.OptNOP},
+			packet.TCPOption{Kind: packet.OptSACK, Data: d})
 	}
 	s.stats.AcksSent++
 	if immediate {
@@ -233,10 +228,7 @@ func (s *Stack) pump(c *conn) {
 	}
 	if c.sndUna == c.sendEnd {
 		c.serving = false
-		if c.rtxTimer != nil {
-			c.rtxTimer.Stop()
-			c.rtxTimer = nil
-		}
+		c.rtxTimer.Stop()
 		return
 	}
 	mss := uint32(s.cfg.MSS)
@@ -265,8 +257,8 @@ func (s *Stack) pump(c *conn) {
 		s.sendData(c, c.sndNxt, n)
 		c.sndNxt += n
 	}
-	if c.rtxTimer == nil || !c.rtxTimer.Pending() {
-		c.rtxTimer = s.loop.Schedule(s.cfg.RTO, func() { s.retransmit(c) })
+	if !c.rtxTimer.Pending() {
+		c.rtxTimer = s.loop.ScheduleArg(s.cfg.RTO, s.rtxFn, c)
 	}
 }
 
@@ -285,37 +277,44 @@ func (s *Stack) retransmit(c *conn) {
 	}
 	s.stats.Retransmits++
 	s.sendData(c, c.sndUna, n)
-	c.rtxTimer = s.loop.Schedule(s.cfg.RTO, func() { s.retransmit(c) })
+	c.rtxTimer = s.loop.ScheduleArg(s.cfg.RTO, s.rtxFn, c)
 }
 
 // sendData transmits object bytes [seq, seq+n). Payload content is a
 // deterministic function of sequence position so traces can verify
 // integrity.
 func (s *Stack) sendData(c *conn, seq, n uint32) {
-	payload := make([]byte, n)
+	if cap(s.payloadBuf) < int(n) {
+		s.payloadBuf = make([]byte, n)
+	}
+	payload := s.payloadBuf[:n]
 	for i := range payload {
 		payload[i] = byte((seq + uint32(i)) % 251)
 	}
 	s.stats.DataSegsSent++
-	s.transmit(c.peer, &packet.TCPHeader{
-		SrcPort: c.lport, DstPort: c.pport,
-		Seq: seq, Ack: c.rcvNxt,
-		Flags: packet.FlagACK | packet.FlagPSH, Window: s.cfg.Window,
-	}, payload)
+	hdr := s.outHdr()
+	hdr.SrcPort, hdr.DstPort = c.lport, c.pport
+	hdr.Seq, hdr.Ack = seq, c.rcvNxt
+	hdr.Flags = packet.FlagACK | packet.FlagPSH
+	hdr.Window = s.cfg.Window
+	s.transmit(c.peer, hdr, payload)
 }
 
-// transmit encodes and emits one datagram, stamping the IPID.
+// transmit encodes and emits one datagram, stamping the IPID. The header
+// and payload are copied onto the wire; the wire bytes and frame come from
+// the stack's arena when one is set.
 func (s *Stack) transmit(dst netip.Addr, hdr *packet.TCPHeader, payload []byte) {
-	ip := &packet.IPv4Header{
+	ip := packet.IPv4Header{
 		Src: s.addr, Dst: dst,
 		ID: s.gen.Next(dst),
 	}
 	if !s.cfg.DisablePMTUD {
 		ip.Flags = packet.FlagDF
 	}
-	raw, err := packet.EncodeTCP(ip, hdr, payload)
+	buf, err := packet.AppendTCP(s.encBuf[:0], &ip, hdr, payload)
 	if err != nil {
 		panic("tcpstack: encode: " + err.Error())
 	}
-	s.out.Input(&netem.Frame{ID: s.ids.Next(), Data: raw, Born: s.loop.Now()})
+	s.encBuf = buf[:0]
+	s.out.Input(s.arena.NewFrame(s.ids.Next(), s.arena.CopyBytes(buf), s.loop.Now()))
 }

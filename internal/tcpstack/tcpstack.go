@@ -168,12 +168,12 @@ type conn struct {
 	sack    []packet.SACKBlock // reportable blocks, most recent first
 
 	delackCount int
-	delackTimer *sim.Timer
+	delackTimer sim.Timer
 
 	// Data-serving application state.
 	serving    bool
 	sendEnd    uint32 // sequence number one past the last byte to serve
-	rtxTimer   *sim.Timer
+	rtxTimer   sim.Timer
 	appGotReq  bool
 	reqNewline bool // a '\n' arrived: the request line is complete
 }
@@ -190,18 +190,44 @@ type Stack struct {
 	conns map[packet.FlowKey]*conn
 	ports map[uint16]bool
 	stats Stats
+
+	// Steady-state scratch: the stack handles one segment at a time on a
+	// single-threaded loop, so one decoded packet, one outgoing header, one
+	// encode buffer and one payload buffer serve every connection without
+	// per-segment allocation. arena (optional) supplies the wire bytes and
+	// frames the stack emits.
+	arena      *netem.Arena
+	rxPkt      packet.Packet
+	txHdr      packet.TCPHeader
+	encBuf     []byte
+	payloadBuf []byte
+	sackBuf    []byte
+	mssData    [2]byte
+	delackFn   func(any)
+	rtxFn      func(any)
 }
 
 // New returns a stack for addr that transmits via out, stamping IPIDs from
 // gen and frame IDs from ids.
 func New(loop *sim.Loop, cfg Config, addr netip.Addr, gen ipid.Generator, ids *netem.FrameIDs, rng *sim.Rand, out netem.Node) *Stack {
-	return &Stack{
+	s := &Stack{
 		loop: loop, cfg: cfg.Defaults(), addr: addr, gen: gen, ids: ids,
 		out: out, rng: rng,
 		conns: make(map[packet.FlowKey]*conn),
 		ports: make(map[uint16]bool),
 	}
+	s.delackFn = func(arg any) {
+		s.stats.DelayedAcks++
+		s.sendAck(arg.(*conn), false)
+	}
+	s.rtxFn = func(arg any) { s.retransmit(arg.(*conn)) }
+	return s
 }
+
+// SetArena directs the stack to allocate transmitted datagrams and frames
+// from a, typically the owning scenario's arena. A nil arena (the default)
+// falls back to the garbage collector.
+func (s *Stack) SetArena(a *netem.Arena) { s.arena = a }
 
 // Listen opens a port; segments to it are served by the data application.
 func (s *Stack) Listen(port uint16) { s.ports[port] = true }
@@ -220,12 +246,13 @@ func (s *Stack) Conns() int { return len(s.conns) }
 
 // Input implements netem.Node: the stack's ingress from the network.
 func (s *Stack) Input(f *netem.Frame) {
-	p, err := packet.Decode(f.Data)
-	if err != nil || p.TCP == nil || p.IP.Dst != s.addr {
+	// Decode into the stack's scratch packet: segment handling never
+	// retains the decoded form past the call.
+	if err := packet.DecodeInto(&s.rxPkt, f.Data); err != nil || s.rxPkt.TCP == nil || s.rxPkt.IP.Dst != s.addr {
 		return // not ours or corrupt; a real NIC/IP layer drops silently
 	}
 	s.stats.SegsIn++
-	s.handleSegment(p)
+	s.handleSegment(&s.rxPkt)
 }
 
 // key builds the connection key from the peer's perspective as received.
@@ -253,6 +280,15 @@ func (s *Stack) handleSegment(p *packet.Packet) {
 	}
 }
 
+// outHdr resets and returns the stack's scratch transmit header, reusing
+// its option storage. Valid until the next outHdr call; transmit copies it
+// onto the wire, so nothing retains it.
+func (s *Stack) outHdr() *packet.TCPHeader {
+	opts := s.txHdr.Options[:0]
+	s.txHdr = packet.TCPHeader{Options: opts}
+	return &s.txHdr
+}
+
 func (s *Stack) maybeRSTClosed(p *packet.Packet) {
 	if s.cfg.SilentClosedPorts {
 		return
@@ -261,11 +297,10 @@ func (s *Stack) maybeRSTClosed(p *packet.Packet) {
 	if hdr.HasFlags(packet.FlagRST) {
 		return
 	}
-	rst := &packet.TCPHeader{
-		SrcPort: hdr.DstPort, DstPort: hdr.SrcPort,
-		Flags: packet.FlagRST | packet.FlagACK,
-		Ack:   hdr.Seq + segLen(p),
-	}
+	rst := s.outHdr()
+	rst.SrcPort, rst.DstPort = hdr.DstPort, hdr.SrcPort
+	rst.Flags = packet.FlagRST | packet.FlagACK
+	rst.Ack = hdr.Seq + segLen(p)
 	if hdr.HasFlags(packet.FlagACK) {
 		rst.Flags = packet.FlagRST
 		rst.Seq = hdr.Ack
@@ -310,17 +345,18 @@ func (s *Stack) acceptSYN(k packet.FlowKey, p *packet.Packet) {
 }
 
 func (s *Stack) sendSynAck(c *conn) {
-	opts := []packet.TCPOption{packet.MSSOption(s.cfg.MSS)}
+	h := s.outHdr()
+	s.mssData[0], s.mssData[1] = byte(s.cfg.MSS>>8), byte(s.cfg.MSS)
+	h.Options = append(h.Options, packet.TCPOption{Kind: packet.OptMSS, Data: s.mssData[:]})
 	if s.cfg.SACK {
-		opts = append(opts, packet.SACKPermittedOption())
+		h.Options = append(h.Options, packet.TCPOption{Kind: packet.OptSACKPermitted})
 	}
+	h.SrcPort, h.DstPort = c.lport, c.pport
+	h.Seq, h.Ack = c.iss, c.rcvNxt
+	h.Flags = packet.FlagSYN | packet.FlagACK
+	h.Window = s.cfg.Window
 	s.stats.SynAcksSent++
-	s.transmit(c.peer, &packet.TCPHeader{
-		SrcPort: c.lport, DstPort: c.pport,
-		Seq: c.iss, Ack: c.rcvNxt,
-		Flags: packet.FlagSYN | packet.FlagACK, Window: s.cfg.Window,
-		Options: opts,
-	}, nil)
+	s.transmit(c.peer, h, nil)
 }
 
 func (s *Stack) handleConn(k packet.FlowKey, c *conn, p *packet.Packet) {
@@ -356,9 +392,10 @@ func (s *Stack) handleSynRecv(k packet.FlowKey, c *conn, p *packet.Packet) {
 		}
 		// Unacceptable ACK in SYN_RECV: RST with seq = ack (RFC 793).
 		s.stats.RstsSent++
-		s.transmit(c.peer, &packet.TCPHeader{
-			SrcPort: c.lport, DstPort: c.pport, Seq: hdr.Ack, Flags: packet.FlagRST,
-		}, nil)
+		h := s.outHdr()
+		h.SrcPort, h.DstPort = c.lport, c.pport
+		h.Seq, h.Flags = hdr.Ack, packet.FlagRST
+		s.transmit(c.peer, h, nil)
 		s.dropConn(k, c)
 	}
 }
@@ -373,17 +410,19 @@ func (s *Stack) secondSYN(k packet.FlowKey, c *conn, p *packet.Packet) {
 	}
 	rst := func() {
 		s.stats.RstsSent++
-		s.transmit(c.peer, &packet.TCPHeader{
-			SrcPort: c.lport, DstPort: c.pport,
-			Seq: 0, Ack: hdr.Seq + 1, Flags: packet.FlagRST | packet.FlagACK,
-		}, nil)
+		h := s.outHdr()
+		h.SrcPort, h.DstPort = c.lport, c.pport
+		h.Seq, h.Ack = 0, hdr.Seq+1
+		h.Flags = packet.FlagRST | packet.FlagACK
+		s.transmit(c.peer, h, nil)
 	}
 	challengeAck := func() {
 		s.stats.AcksSent++
-		s.transmit(c.peer, &packet.TCPHeader{
-			SrcPort: c.lport, DstPort: c.pport,
-			Seq: c.sndNxt, Ack: c.rcvNxt, Flags: packet.FlagACK, Window: s.cfg.Window,
-		}, nil)
+		h := s.outHdr()
+		h.SrcPort, h.DstPort = c.lport, c.pport
+		h.Seq, h.Ack = c.sndNxt, c.rcvNxt
+		h.Flags, h.Window = packet.FlagACK, s.cfg.Window
+		s.transmit(c.peer, h, nil)
 	}
 	switch s.cfg.SYNPolicy {
 	case SYNPolicyRST:
@@ -403,11 +442,7 @@ func (s *Stack) secondSYN(k packet.FlowKey, c *conn, p *packet.Packet) {
 }
 
 func (s *Stack) dropConn(k packet.FlowKey, c *conn) {
-	if c.delackTimer != nil {
-		c.delackTimer.Stop()
-	}
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-	}
+	c.delackTimer.Stop()
+	c.rtxTimer.Stop()
 	delete(s.conns, k)
 }

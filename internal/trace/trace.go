@@ -71,8 +71,8 @@ func (c *Capture) Exchanged(sentFirst, sentSecond uint64) (exchanged, ok bool) {
 	return j < i, true
 }
 
-// Reset clears the capture.
+// Reset clears the capture, keeping its storage for reuse.
 func (c *Capture) Reset() {
-	c.records = nil
-	c.byID = make(map[uint64]int)
+	c.records = c.records[:0]
+	clear(c.byID)
 }
