@@ -308,6 +308,51 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignBatch sweeps the dispatch span size at a fixed pool,
+// isolating what batching buys: span claims, completion reports and sink
+// writes are paid per batch, so targets/s should rise from batch-1
+// (per-target channel discipline, the pre-batching behaviour) and flatten
+// once orchestration is amortized. Output is byte-identical across the
+// sweep (pinned by TestCampaignBatchMatrixGolden).
+func BenchmarkCampaignBatch(b *testing.B) {
+	targets := benchCampaignTargets(b)
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Run(campaign.Config{Targets: targets, Samples: 8, Workers: 8, Batch: batch}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+		})
+	}
+}
+
+// BenchmarkCampaignParallel measures parallel scaling: the 8-worker
+// campaign at GOMAXPROCS 1, 4 and 8. Probes are hermetic and workers
+// share nothing but the span cursor, the window gate and per-span
+// handoffs, so targets/s should track available cores; the GOMAXPROCS-1
+// leg doubles as the orchestration-overhead floor (it is the same work on
+// one core). On machines with fewer cores the higher legs simply repeat
+// the 1-core figure.
+func BenchmarkCampaignParallel(b *testing.B) {
+	targets := benchCampaignTargets(b)
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("gomaxprocs-%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Run(campaign.Config{Targets: targets, Samples: 8, Workers: 8, Batch: 16}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+		})
+	}
+}
+
 // BenchmarkCampaignProbe isolates one hermetic target probe the way a
 // campaign worker runs it — scenario re-seeding in a reused arena plus one
 // measurement — the steady-state unit cost every campaign scales from.

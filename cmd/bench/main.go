@@ -1,8 +1,10 @@
 // Command bench runs the campaign-engine benchmarks programmatically and
-// writes the figures of merit to a JSON file, the first point of the
-// performance trajectory future PRs measure against. Unlike `go test
-// -bench`, its output is a machine-readable record (ns/op, B/op,
-// allocs/op, targets/s) that CI and later sessions can diff.
+// appends the figures of merit to a JSON history file — the performance
+// trajectory future PRs measure against. Unlike `go test -bench`, its
+// output is a machine-readable record (ns/op, B/op, allocs/op, targets/s)
+// that CI and later sessions can diff; unlike a snapshot, the history
+// keeps every committed run (go version, GOMAXPROCS, git revision), and
+// each run prints its deltas against the previous record.
 //
 // Usage:
 //
@@ -15,7 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 
 	"reorder/internal/campaign"
@@ -34,17 +38,56 @@ type point struct {
 	N         int     `json:"n"`
 }
 
-// report is the BENCH_probe.json schema. Append-only: future PRs add
-// fields, never rename them, so trajectories stay comparable.
-type report struct {
+// record is one bench run. Append-only: future PRs add fields, never
+// rename them, so trajectories stay comparable.
+type record struct {
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	GitRev     string  `json:"git_rev,omitempty"`
 	Points     []point `json:"points"`
+}
+
+// history is the BENCH_probe.json schema: every committed run, oldest
+// first. The pre-history schema was a single bare record; loadHistory
+// upgrades it to a one-entry history so old trajectories are preserved.
+type history struct {
+	Records []record `json:"records"`
+}
+
+// loadHistory reads the existing trajectory, tolerating both the history
+// schema and the original single-record schema. A missing file is an
+// empty history.
+func loadHistory(path string) (history, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return history{}, nil
+	}
+	if err != nil {
+		return history{}, err
+	}
+	var h history
+	if err := json.Unmarshal(data, &h); err == nil && len(h.Records) > 0 {
+		return h, nil
+	}
+	var legacy record
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Points) > 0 {
+		return history{Records: []record{legacy}}, nil
+	}
+	return history{}, fmt.Errorf("bench: %s: unrecognized schema", path)
+}
+
+// gitRev returns the short HEAD revision, or "" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	out := fs.String("o", "BENCH_probe.json", "output path for the benchmark record")
+	out := fs.String("o", "BENCH_probe.json", "benchmark history file (appended, not overwritten)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -58,8 +101,28 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	rep := report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	record := func(name string, perOpTargets int, bench func(b *testing.B)) {
+	hist, err := loadHistory(*out)
+	if err != nil {
+		return err
+	}
+	var prev *record
+	if len(hist.Records) > 0 {
+		prev = &hist.Records[len(hist.Records)-1]
+	}
+	prevPoint := func(name string) *point {
+		if prev == nil {
+			return nil
+		}
+		for i := range prev.Points {
+			if prev.Points[i].Name == name {
+				return &prev.Points[i]
+			}
+		}
+		return nil
+	}
+
+	rec := record{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), GitRev: gitRev()}
+	recordPoint := func(name string, perOpTargets int, bench func(b *testing.B)) {
 		res := testing.Benchmark(bench)
 		p := point{
 			Name:     name,
@@ -71,10 +134,19 @@ func run(args []string, stdout io.Writer) error {
 		if perOpTargets > 0 && res.T > 0 {
 			p.TargetsPS = float64(res.N*perOpTargets) / res.T.Seconds()
 		}
-		rep.Points = append(rep.Points, p)
+		rec.Points = append(rec.Points, p)
 		fmt.Fprintf(stdout, "%-28s %12.0f ns/op %10d B/op %8d allocs/op", name, p.NsPerOp, p.BPerOp, p.AllocsOp)
 		if p.TargetsPS > 0 {
 			fmt.Fprintf(stdout, " %10.0f targets/s", p.TargetsPS)
+		}
+		// The trajectory item: every run shows where it stands against
+		// the last committed record.
+		if pp := prevPoint(name); pp != nil && pp.NsPerOp > 0 {
+			fmt.Fprintf(stdout, "   [ns/op %+.1f%%", (p.NsPerOp/pp.NsPerOp-1)*100)
+			if pp.TargetsPS > 0 && p.TargetsPS > 0 {
+				fmt.Fprintf(stdout, ", targets/s %+.1f%%", (p.TargetsPS/pp.TargetsPS-1)*100)
+			}
+			fmt.Fprintf(stdout, ", allocs %+d]", p.AllocsOp-pp.AllocsOp)
 		}
 		fmt.Fprintln(stdout)
 	}
@@ -86,7 +158,7 @@ func run(args []string, stdout io.Writer) error {
 	if res := arena.ProbeTarget(probeTarget, 8, 0); res.Err != "" {
 		return fmt.Errorf("bench: warmup probe failed: %s", res.Err)
 	}
-	record("CampaignProbe", 1, func(b *testing.B) {
+	recordPoint("CampaignProbe", 1, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if res := arena.ProbeTarget(probeTarget, 8, 0); res.Err != "" {
 				b.Fatal(res.Err)
@@ -95,19 +167,28 @@ func run(args []string, stdout io.Writer) error {
 	})
 
 	// CampaignThroughput: the orchestrator end to end over the benchmark
-	// work list.
-	record("CampaignThroughput", len(targets), func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := campaign.Run(campaign.Config{Targets: targets, Samples: 8, Workers: 16}); err != nil {
-				b.Fatal(err)
+	// work list, at the historical 16-worker configuration so the series
+	// stays comparable, then at 8 workers (the parallel-scaling
+	// reference) and with an explicit batch size.
+	campaignBench := func(workers, batch int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Run(campaign.Config{
+					Targets: targets, Samples: 8, Workers: workers, Batch: batch,
+				}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
-	})
+	}
+	recordPoint("CampaignThroughput", len(targets), campaignBench(16, 0))
+	recordPoint("CampaignThroughput-w8", len(targets), campaignBench(8, 0))
+	recordPoint("CampaignThroughput-w8-b16", len(targets), campaignBench(8, 16))
 
 	// CampaignAggregator: aggregation cost isolated from probe cost, over
 	// the same synthetic workload BenchmarkCampaignAggregator measures.
 	results := campaign.SyntheticResults(10_000)
-	record("CampaignAggregator-10k", 10_000, func(b *testing.B) {
+	recordPoint("CampaignAggregator-10k", 10_000, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			agg := campaign.NewAggregator(16)
 			for j, r := range results {
@@ -119,13 +200,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 	})
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	hist.Records = append(hist.Records, rec)
+	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	fmt.Fprintf(stdout, "appended record %d to %s\n", len(hist.Records), *out)
 	return nil
 }

@@ -37,7 +37,8 @@ func run(args []string, stdout io.Writer) error {
 		retries      = fs.Int("retries", 1, "extra attempts for a failed target")
 		backoff      = fs.Duration("backoff", 50*time.Millisecond, "delay before first retry (doubles per attempt)")
 		rate         = fs.Float64("rate", 0, "max probe launches per second (0 = unlimited)")
-		window       = fs.Int("window", 0, "max targets dispatched ahead of the in-order emit frontier; bounds re-sequencing memory (0 = max(4×workers, 64))")
+		window       = fs.Int("window", 0, "max targets probed ahead of the in-order emit frontier; bounds re-sequencing memory (0 = adaptive from observed completion spread, capped at max(4×workers, 64))")
+		batch        = fs.Int("batch", 0, "targets per dispatch span: workers claim contiguous runs of this many targets and results flush to the sinks in whole pre-encoded batches (0 = adaptive; output is byte-identical at any batch size)")
 		out          = fs.String("out", "", "stream per-target results as JSONL to this path")
 		csvPath      = fs.String("csv", "", "stream per-target results as CSV to this path")
 		ckpt         = fs.String("checkpoint", "", "checkpoint file enabling -resume")
@@ -150,6 +151,7 @@ func run(args []string, stdout io.Writer) error {
 		Backoff:        *backoff,
 		RatePerSec:     *rate,
 		Window:         *window,
+		Batch:          *batch,
 		OutputPath:     *out,
 		CSVPath:        *csvPath,
 		CheckpointPath: *ckpt,
@@ -157,10 +159,15 @@ func run(args []string, stdout io.Writer) error {
 		StopAfter:      *stopAfter,
 	}
 	if *progress {
+		// Progress is batch-granular, so report on every crossed
+		// 250-target boundary rather than exact multiples (a batch may
+		// step right over one).
+		last := 0
 		cfg.Progress = func(done, total int) {
-			if done%250 == 0 || done == total {
+			if done/250 > last/250 || done == total {
 				fmt.Fprintf(os.Stderr, "campaign: %d/%d targets\n", done, total)
 			}
+			last = done
 		}
 	}
 

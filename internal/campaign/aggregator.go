@@ -42,10 +42,18 @@ func (a *Aggregator) Shard(w int) *Shard { return a.shards[w%len(a.shards)] }
 // ~0.4% quantile resolution. RTTs are scale-free, so geometric bins hold
 // constant relative resolution from 1µs to 1000s. Extents are small
 // integers; unit-width bins up to 128 resolve them exactly (deeper
-// reordering clamps into the last bin).
-func rateEdges() []float64   { return stats.UniformEdges(0, 1, 256) }
-func rttEdges() []float64    { return stats.LogEdges(1, 1e9, 288) }
-func extentEdges() []float64 { return stats.UniformEdges(0, 128, 128) }
+// reordering clamps into the last bin). The edge slices are computed once
+// and shared: histograms never mutate their edges, and one campaign
+// builds dozens of histograms per worker shard.
+var (
+	rateEdgesV   = stats.UniformEdges(0, 1, 256)
+	rttEdgesV    = stats.LogEdges(1, 1e9, 288)
+	extentEdgesV = stats.UniformEdges(0, 128, 128)
+)
+
+func rateEdges() []float64   { return rateEdgesV }
+func rttEdges() []float64    { return rttEdgesV }
+func extentEdges() []float64 { return extentEdgesV }
 
 // Shard accumulates results for one worker. Not safe for sharing.
 type Shard struct {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -57,10 +58,18 @@ type Config struct {
 	// Burst is the token-bucket capacity (default Workers).
 	Burst int
 	// Window bounds how far dispatch may run ahead of the in-order emit
-	// frontier (default max(4×Workers, 64)): it caps the re-sequencing
-	// buffer when one slow target holds the frontier, trading sink
-	// latency for memory.
+	// frontier: it caps the re-sequencing buffer when one slow target
+	// holds the frontier, trading sink latency for memory. Zero selects
+	// the scheduler's adaptive window, which tracks the observed
+	// completion spread up to the old static default (max(4×Workers, 64))
+	// — see SchedulerConfig.Window.
 	Window int
+	// Batch is the dispatch span size: workers claim contiguous runs of
+	// this many targets at a time and results flush to the sinks in
+	// whole pre-encoded batches, so orchestration cost is paid per batch
+	// instead of per target (0 = adaptive; see SchedulerConfig.Batch).
+	// Output bytes are identical at any batch size.
+	Batch int
 
 	// OutputPath, when set, streams per-target results as JSONL. It is
 	// also the replay source when resuming from a checkpoint.
@@ -108,6 +117,7 @@ func (c Config) schedulerConfig() SchedulerConfig {
 		RatePerSec: c.RatePerSec,
 		Burst:      c.Burst,
 		Window:     c.Window,
+		Batch:      c.Batch,
 	}
 }
 
@@ -163,42 +173,100 @@ func Run(cfg Config) (*Summary, error) {
 		end = start + cfg.StopAfter
 	}
 
-	results := make([]*TargetResult, len(cfg.Targets))
 	ck := Checkpoint{Fingerprint: fp, Done: start}
 	emitted := start
 	// Each worker owns one ProbeArena: the scenario and prober are built
 	// once and re-seeded per target, which removes scenario construction
 	// from the per-target cost without changing a byte of output (arena
-	// reuse is observably identical to fresh construction).
-	arenas := make([]*ProbeArena, sched.Workers())
-	for i := range arenas {
-		arenas[i] = NewProbeArena()
+	// reuse is observably identical to fresh construction). Workers also
+	// own a CSV row encoder when a CSV sink is configured.
+	workers := make([]campaignWorker, sched.Workers())
+	for i := range workers {
+		workers[i].arena = NewProbeArena()
+		if sinks.csv != nil {
+			workers[i].csvEnc = NewCSVRowEncoder()
+		}
 	}
-	err = sched.Run(start, end,
+
+	// The batch pipeline: a worker claims a span, checks a spanBatch out
+	// of the pool, renders each result into the batch's JSONL/CSV buffers
+	// as it completes, and the in-order collector flushes whole batches
+	// with one Write per sink. Memory is bounded by the dispatch window —
+	// at most MaxWindow results are ever probed-but-unemitted — so a
+	// million-target campaign holds the same few batches in flight as a
+	// thousand-target one.
+	pipe := &batchPipeline{batches: make(map[int]*spanBatch)}
+
+	err = sched.RunSpans(start, end,
+		func(worker, lo, hi int) {
+			b := pipe.get(hi - lo)
+			b.lo, b.hi = lo, hi
+			workers[worker].batch = b
+			pipe.publish(b)
+		},
 		func(worker, index, attempt int) error {
-			res := arenas[worker].ProbeTarget(cfg.Targets[index], cfg.Samples, attempt)
-			results[index] = res
+			w := &workers[worker]
+			b := w.batch
+			res := &b.results[index-b.lo]
+			w.arena.ProbeTargetInto(res, cfg.Targets[index], cfg.Samples, attempt)
 			if res.Err != "" && attempt < cfg.Retries {
 				return fmt.Errorf("campaign: target %d: %s", index, res.Err)
 			}
 			agg.Shard(worker).Add(res)
+			if sinks.jsonl != nil {
+				b.json = res.AppendJSON(b.json)
+				b.json = append(b.json, '\n')
+			}
+			if sinks.csv != nil && b.err == nil {
+				// The first render failure sticks: emitting a batch
+				// with a silently missing row must be impossible.
+				b.csv, b.err = w.csvEnc.AppendRow(b.csv, res)
+			}
 			return nil
 		},
-		func(index int) error {
-			for _, s := range sinks {
-				if err := s.Emit(results[index]); err != nil {
+		func(lo, hi int) error {
+			b := pipe.take(lo)
+			if b == nil || b.hi != hi {
+				return fmt.Errorf("campaign: internal: no batch for span [%d,%d)", lo, hi)
+			}
+			if b.err != nil {
+				return b.err
+			}
+			if sinks.jsonl != nil {
+				if err := sinks.jsonl.EmitBatch(b.json); err != nil {
 					return err
 				}
 			}
-			results[index] = nil // bound memory: emitted results are dropped
-			emitted++
+			if sinks.csv != nil {
+				if err := sinks.csv.EmitBatch(b.csv); err != nil {
+					return err
+				}
+			}
+			// Caller-provided sinks get a per-result copy: batch slots
+			// are pooled and overwritten by later spans, and the Sink
+			// contract has always allowed retaining the record.
+			if len(sinks.extra) > 0 {
+				for i := range b.results {
+					r := b.results[i]
+					for _, s := range sinks.extra {
+						if err := s.Emit(&r); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			prev := emitted
+			emitted = hi
+			pipe.put(b)
 			if cfg.CheckpointPath != "" &&
-				(emitted%cfg.CheckpointEvery == 0 || emitted == end) {
+				(emitted/cfg.CheckpointEvery > prev/cfg.CheckpointEvery || emitted == end) {
 				// Flush first: a checkpoint must never acknowledge
 				// results still sitting in a sink buffer, or a crash
 				// here would leave the output behind the checkpoint
-				// and the campaign unresumable.
-				for _, s := range sinks {
+				// and the campaign unresumable. Checkpoints are batch-
+				// granular — one save per crossed CheckpointEvery
+				// boundary — with the exact final count preserved.
+				for _, s := range sinks.all {
 					if err := s.Flush(); err != nil {
 						return err
 					}
@@ -216,7 +284,7 @@ func Run(cfg Config) (*Summary, error) {
 	// Close errors matter even on the success path: the final buffered
 	// results reach disk during Close, and a full disk must not yield a
 	// successful report over a truncated output file.
-	closeErr := closeAll(sinks)
+	closeErr := closeAll(sinks.all)
 	if err != nil {
 		return nil, err
 	}
@@ -226,16 +294,94 @@ func Run(cfg Config) (*Summary, error) {
 	return agg.Summary(), nil
 }
 
+// campaignWorker is one worker's private probing and rendering state.
+type campaignWorker struct {
+	arena  *ProbeArena
+	csvEnc *CSVRowEncoder
+	batch  *spanBatch
+}
+
+// spanBatch carries one dispatch span's results and their pre-encoded sink
+// bytes from the worker that produced them to the in-order collector.
+type spanBatch struct {
+	lo, hi  int
+	results []TargetResult
+	json    []byte // newline-terminated records, span order
+	csv     []byte // encoded rows, span order
+	err     error  // deferred render failure, surfaced at emit
+}
+
+// batchPipeline hands spanBatches from workers to the collector: a free
+// list for reuse plus a small lo-keyed map of in-flight batches. Two short
+// critical sections per span — not per target — is its entire footprint.
+type batchPipeline struct {
+	mu      sync.Mutex
+	free    []*spanBatch
+	batches map[int]*spanBatch
+}
+
+// get checks a batch for n results out of the pool, reset for filling.
+func (p *batchPipeline) get(n int) *spanBatch {
+	p.mu.Lock()
+	var b *spanBatch
+	if k := len(p.free); k > 0 {
+		b = p.free[k-1]
+		p.free = p.free[:k-1]
+	} else {
+		b = &spanBatch{}
+	}
+	p.mu.Unlock()
+	if cap(b.results) < n {
+		b.results = make([]TargetResult, n)
+	}
+	b.results = b.results[:n]
+	b.json, b.csv, b.err = b.json[:0], b.csv[:0], nil
+	return b
+}
+
+// publish makes the batch findable by the collector under its span start.
+func (p *batchPipeline) publish(b *spanBatch) {
+	p.mu.Lock()
+	p.batches[b.lo] = b
+	p.mu.Unlock()
+}
+
+// take claims the batch published for the span starting at lo.
+func (p *batchPipeline) take(lo int) *spanBatch {
+	p.mu.Lock()
+	b := p.batches[lo]
+	delete(p.batches, lo)
+	p.mu.Unlock()
+	return b
+}
+
+// put returns an emitted batch to the free list.
+func (p *batchPipeline) put(b *spanBatch) {
+	p.mu.Lock()
+	p.free = append(p.free, b)
+	p.mu.Unlock()
+}
+
+// sinkSet is the campaign's open sinks, with the built-in batch-capable
+// pair held by type (the batched emit path writes pre-encoded bytes to
+// them directly) and caller-provided sinks fed record by record.
+type sinkSet struct {
+	jsonl *JSONLSink
+	csv   *CSVSink
+	extra []Sink
+	all   []Sink // every open sink, for flush/close
+}
+
 // openSinks assembles the configured sinks. When resuming, the JSONL file
 // — already truncated to exactly the checkpointed records — is opened for
 // append, while the CSV file is rebuilt from the replayed prefix: CSV rows
 // are not safely line-countable, so rewriting is how its content is
 // guaranteed to equal an uninterrupted run's.
-func openSinks(cfg Config, replayed []*TargetResult) ([]Sink, error) {
-	var sinks []Sink
-	fail := func(err error) ([]Sink, error) {
-		closeAll(sinks)
-		return nil, err
+func openSinks(cfg Config, replayed []*TargetResult) (sinkSet, error) {
+	var sinks sinkSet
+	fail := func(err error) (sinkSet, error) {
+		closeAll(sinks.all)
+		return sinkSet{}, err
 	}
 	resuming := len(replayed) > 0
 	if cfg.OutputPath != "" {
@@ -247,7 +393,8 @@ func openSinks(cfg Config, replayed []*TargetResult) ([]Sink, error) {
 		if err != nil {
 			return fail(err)
 		}
-		sinks = append(sinks, NewJSONLSink(f))
+		sinks.jsonl = NewJSONLSink(f)
+		sinks.all = append(sinks.all, sinks.jsonl)
 	}
 	if cfg.CSVPath != "" {
 		f, err := os.OpenFile(cfg.CSVPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
@@ -255,15 +402,16 @@ func openSinks(cfg Config, replayed []*TargetResult) ([]Sink, error) {
 			return fail(err)
 		}
 		cs := NewCSVSink(f)
+		sinks.csv = cs
+		sinks.all = append(sinks.all, cs)
 		for _, r := range replayed {
 			if err := cs.Emit(r); err != nil {
-				closeAll(append(sinks, cs))
-				return nil, err
+				return fail(err)
 			}
 		}
-		sinks = append(sinks, cs)
 	}
-	sinks = append(sinks, cfg.Sinks...)
+	sinks.extra = cfg.Sinks
+	sinks.all = append(sinks.all, cfg.Sinks...)
 	return sinks, nil
 }
 

@@ -150,22 +150,26 @@ func TestAppendJSONMatchesMarshal(t *testing.T) {
 }
 
 // TestProbeAllocBudget pins the steady-state probe allocation budget: a
-// warmed arena probe must stay under 150 allocations (the seed's cost was
-// ~930). A regression here means a fast-path allocation crept back in.
+// warmed arena probe must stay under 30 allocations (the seed's cost was
+// ~930, PR 3 brought it to 77, topology pooling to single digits). A
+// regression here means a fast-path allocation crept back in — an element
+// rebuilt instead of reinitialized, a random stream forked instead of
+// reseeded, a per-connection struct escaping its pool.
 func TestProbeAllocBudget(t *testing.T) {
 	tg := Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
 	arena := NewProbeArena()
-	for i := 0; i < 3; i++ { // warm the arena's slabs and scratch
-		if res := arena.ProbeTarget(tg, 8, 0); res.Err != "" {
+	var res TargetResult
+	for i := 0; i < 3; i++ { // warm the arena's slabs, pools and scratch
+		if arena.ProbeTargetInto(&res, tg, 8, 0); res.Err != "" {
 			t.Fatalf("probe errored: %s", res.Err)
 		}
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		if res := arena.ProbeTarget(tg, 8, 0); res.Err != "" {
+		if arena.ProbeTargetInto(&res, tg, 8, 0); res.Err != "" {
 			t.Fatalf("probe errored: %s", res.Err)
 		}
 	})
-	const budget = 150
+	const budget = 30
 	if allocs > budget {
 		t.Fatalf("steady-state probe allocates %.0f objects, budget %d", allocs, budget)
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"reorder/internal/core"
+	"reorder/internal/host"
 	"reorder/internal/sim"
 	"reorder/internal/simnet"
 )
@@ -79,6 +80,13 @@ func (r *TargetResult) PathRate() (float64, bool) {
 type ProbeArena struct {
 	net    *simnet.Net
 	prober *core.Prober
+
+	// rng and impRng are the per-target stream and its impairment fork,
+	// reseeded per probe instead of allocated.
+	rng, impRng *sim.Rand
+	// backends is the scratch the load-balanced pool's profiles are
+	// copied into before per-target mutation (the prototypes are shared).
+	backends []host.Profile
 }
 
 // NewProbeArena returns an empty arena; the first probe populates it.
@@ -86,7 +94,16 @@ func NewProbeArena() *ProbeArena { return &ProbeArena{} }
 
 // ProbeTarget is the package-level ProbeTarget probing through the arena.
 func (a *ProbeArena) ProbeTarget(t Target, samples int, attempt int) *TargetResult {
-	return probeTarget(t, samples, attempt, a)
+	res := &TargetResult{}
+	probeTargetInto(res, t, samples, attempt, a)
+	return res
+}
+
+// ProbeTargetInto probes t through the arena into a caller-owned result,
+// overwriting it completely — the allocation-free form the campaign's
+// batch pipeline uses with ring-slot results.
+func (a *ProbeArena) ProbeTargetInto(res *TargetResult, t Target, samples int, attempt int) {
+	probeTargetInto(res, t, samples, attempt, a)
 }
 
 // ProbeTarget runs one target's measurement hermetically: the scenario,
@@ -96,14 +113,16 @@ func (a *ProbeArena) ProbeTarget(t Target, samples int, attempt int) *TargetResu
 // the result rather than returned: a campaign always yields one record
 // per target.
 func ProbeTarget(t Target, samples int, attempt int) *TargetResult {
-	return probeTarget(t, samples, attempt, nil)
+	res := &TargetResult{}
+	probeTargetInto(res, t, samples, attempt, nil)
+	return res
 }
 
-func probeTarget(t Target, samples int, attempt int, arena *ProbeArena) *TargetResult {
+func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, arena *ProbeArena) {
 	if samples <= 0 {
 		samples = 8
 	}
-	res := &TargetResult{
+	*res = TargetResult{
 		Index: t.Index, Name: t.Name, Profile: t.Profile,
 		Impairment: t.Impairment, Test: t.Test, Seed: t.Seed,
 		Attempts: attempt + 1,
@@ -112,20 +131,46 @@ func probeTarget(t Target, samples int, attempt int, arena *ProbeArena) *TargetR
 	cfg, err := resolveProfile(t.Profile)
 	if err != nil {
 		res.Err = err.Error()
-		return res
+		return
 	}
 	imp, err := impairmentByName(t.Impairment)
 	if err != nil {
 		res.Err = err.Error()
-		return res
+		return
 	}
 
 	// Retries re-derive the stream so a fresh attempt sees fresh ports,
 	// ISNs and path draws — deterministically, since the attempt sequence
-	// of a target is itself deterministic.
-	rng := sim.NewRand(t.Seed, 0xca3^uint64(attempt))
+	// of a target is itself deterministic. An arena reseeds its retained
+	// streams; the standalone path allocates fresh ones.
+	var rng *sim.Rand
+	if arena != nil {
+		if arena.rng == nil {
+			arena.rng = sim.NewRand(t.Seed, 0xca3^uint64(attempt))
+		} else {
+			arena.rng.Reseed(t.Seed, 0xca3^uint64(attempt))
+		}
+		rng = arena.rng
+	} else {
+		rng = sim.NewRand(t.Seed, 0xca3^uint64(attempt))
+	}
 	cfg.Seed = rng.Uint64()
-	cfg.Forward, cfg.Reverse = imp.Build(rng.Fork(1))
+	if arena != nil {
+		arena.impRng = rng.ForkInto(arena.impRng, 1)
+		cfg.Forward, cfg.Reverse = imp.Build(arena.impRng)
+	} else {
+		cfg.Forward, cfg.Reverse = imp.Build(rng.Fork(1))
+	}
+	// The load-balanced pool's backend prototypes are shared; copy before
+	// the per-target ObjectSize mutation below.
+	if len(cfg.Backends) > 0 {
+		if arena != nil {
+			cfg.Backends = append(arena.backends[:0], cfg.Backends...)
+			arena.backends = cfg.Backends
+		} else {
+			cfg.Backends = append([]host.Profile(nil), cfg.Backends...)
+		}
+	}
 	// Size served objects so one transfer test stays around `samples`
 	// segments, like the survey's root web objects.
 	cfg.Server.TCP.ObjectSize = (samples + 1) * 256
@@ -169,7 +214,7 @@ func probeTarget(t Target, samples int, attempt int, arena *ProbeArena) *TargetR
 			} else {
 				res.DCTExcluded = "non-monotonic"
 			}
-			return res
+			return
 		default:
 			out, err = prober.DualConnectionTest(core.DCTOptions{Samples: samples})
 		}
@@ -179,11 +224,11 @@ func probeTarget(t Target, samples int, attempt int, arena *ProbeArena) *TargetR
 		out, err = prober.DataTransferTest(core.TransferOptions{IdleTimeout: 500 * time.Millisecond})
 	default:
 		res.Err = "campaign: unknown test " + t.Test
-		return res
+		return
 	}
 	if err != nil {
 		res.Err = err.Error()
-		return res
+		return
 	}
 
 	fwd, rev := out.Forward(), out.Reverse()
@@ -200,5 +245,5 @@ func probeTarget(t Target, samples int, attempt int, arena *ProbeArena) *TargetR
 			res.SeqDupthreshExposure = float64(res.SeqNReordering) / float64(sm.Received)
 		}
 	}
-	return res
+	return
 }

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,12 +20,25 @@ type SchedulerConfig struct {
 	RatePerSec float64
 	// Burst is the bucket capacity (default Workers).
 	Burst int
-	// Window bounds how far job dispatch may run ahead of the in-order
-	// emit frontier (default max(4×Workers, 64)). It is what makes the
-	// re-sequencing buffer — and any per-index state the caller retains
-	// until emit — genuinely bounded when one slow job holds the
-	// frontier while thousands of later jobs finish.
+	// Window bounds how far job execution may run ahead of the in-order
+	// emit frontier. It is what makes the re-sequencing buffer — and any
+	// per-index state the caller retains until emit — genuinely bounded
+	// when one slow job holds the frontier while thousands of later jobs
+	// finish. Zero selects the adaptive window: it starts near 2×Workers
+	// and tracks an EWMA of the observed completion spread, growing (up to
+	// the old static default, max(4×Workers, 64)) only when stragglers
+	// actually scatter completions — so a campaign of uniform-speed
+	// targets keeps sink latency low, and one with slow spec-stack
+	// targets widens just enough to keep the pool busy.
 	Window int
+	// Batch is the span size: workers claim [lo,hi) index spans of this
+	// many jobs off a shared cursor, so scheduling overhead (cursor
+	// claims, completion reports, re-sequencing) is paid per span rather
+	// than per job. Zero selects an adaptive size from the run length and
+	// worker count; rate-limited runs always dispatch singly so the token
+	// bucket stays the pacing authority. Batching never changes outputs —
+	// only how work is sliced.
+	Batch int
 }
 
 // DefaultWorkers is the pool size when SchedulerConfig.Workers is zero.
@@ -33,9 +47,21 @@ const DefaultWorkers = 16
 // Scheduler runs indexed jobs through a bounded worker pool and delivers
 // completions strictly in index order. Job side effects keyed by index (or
 // by worker, for sharded aggregation) need no locking: each index is
-// processed by exactly one worker, and the emit callback runs serially.
+// processed by exactly one worker, and the emit callbacks run serially.
+//
+// Dispatch is span-granular: workers claim contiguous [lo,hi) spans off an
+// atomic cursor and report whole completed spans, so the per-job cost of
+// the orchestrator is a few arithmetic operations plus 1/spanSize channel
+// operations — the difference between a campaign bottlenecked on channel
+// hops and one bottlenecked on the probes themselves.
 type Scheduler struct {
 	cfg SchedulerConfig
+
+	// maxWindow is the ceiling the (possibly adaptive) window may reach;
+	// callers sizing per-index rings use MaxWindow.
+	maxWindow int
+	// adaptive records whether Window was left to the scheduler.
+	adaptive bool
 
 	// sleep and now are wall-clock hooks, replaceable by tests. A nil
 	// sleep means real time, waited interruptibly against the run's stop
@@ -68,20 +94,128 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	if cfg.Burst <= 0 {
 		cfg.Burst = cfg.Workers
 	}
+	s := &Scheduler{cfg: cfg, now: time.Now}
 	if cfg.Window <= 0 {
-		cfg.Window = 4 * cfg.Workers
-		if cfg.Window < 64 {
-			cfg.Window = 64
+		// Adaptive: cap at the old static default — scaled up when an
+		// explicit batch needs the headroom to keep every worker holding
+		// a full span — with a floor near 2×Workers so the pool never
+		// starves.
+		s.adaptive = true
+		s.maxWindow = 4 * cfg.Workers
+		if s.maxWindow < 64 {
+			s.maxWindow = 64
 		}
+		if cfg.Batch > 0 && s.maxWindow < 2*cfg.Batch*cfg.Workers {
+			s.maxWindow = 2 * cfg.Batch * cfg.Workers
+		}
+	} else {
+		if cfg.Window < cfg.Workers {
+			cfg.Window = cfg.Workers // never starve the pool
+			s.cfg.Window = cfg.Window
+		}
+		s.maxWindow = cfg.Window
 	}
-	if cfg.Window < cfg.Workers {
-		cfg.Window = cfg.Workers // never starve the pool
-	}
-	return &Scheduler{cfg: cfg, now: time.Now}
+	return s
 }
 
 // Workers returns the effective pool size.
 func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// MaxWindow returns the largest value the dispatch window can take during
+// a run: callers that keep per-index state until emit (re-sequencing
+// rings, pre-encoded batch slots) can size a ring of exactly this many
+// entries and never collide.
+func (s *Scheduler) MaxWindow() int { return s.maxWindow }
+
+// spanSizeFor returns the dispatch span size for a run of n jobs: the
+// configured batch (capped at the window, the progress invariant), or an
+// adaptive default sized so a window's worth of spans keeps every worker
+// busy; always 1 under rate limiting so the token bucket paces individual
+// launches.
+func (s *Scheduler) spanSizeFor(n int) int {
+	if s.cfg.RatePerSec > 0 {
+		return 1
+	}
+	size := s.cfg.Batch
+	if size <= 0 {
+		// Adaptive: big enough to amortize the per-span bookkeeping,
+		// small enough that a run splits into several spans per worker
+		// (tail balance) and the window never idles the pool.
+		size = n / (2 * s.cfg.Workers)
+		if max := s.maxWindow / s.cfg.Workers; size > max {
+			size = max
+		}
+	}
+	if size > s.maxWindow {
+		size = s.maxWindow
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// span is one claimed slice of the index range.
+type span struct{ lo, hi int }
+
+// gate enforces the dispatch window: a worker may run index i only once
+// i < frontier+window. The fast path is two atomic loads; workers park on
+// the condition variable only when the window is actually exhausted.
+type gate struct {
+	frontier atomic.Int64 // next index to emit (all before are emitted)
+	window   atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting int
+	stopped bool
+}
+
+func newGate(start, window int) *gate {
+	g := &gate{}
+	g.frontier.Store(int64(start))
+	g.window.Store(int64(window))
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// wait blocks until index may run (or the run stops, returning false).
+func (g *gate) wait(index int) bool {
+	if int64(index) < g.frontier.Load()+g.window.Load() {
+		return true
+	}
+	g.mu.Lock()
+	for int64(index) >= g.frontier.Load()+g.window.Load() && !g.stopped {
+		g.waiting++
+		g.cond.Wait()
+		g.waiting--
+	}
+	stopped := g.stopped
+	g.mu.Unlock()
+	return !stopped
+}
+
+// advance publishes a new frontier (and optionally a new window), waking
+// parked workers when any are waiting.
+func (g *gate) advance(frontier, window int) {
+	g.mu.Lock()
+	g.frontier.Store(int64(frontier))
+	if window > 0 {
+		g.window.Store(int64(window))
+	}
+	if g.waiting > 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// stop releases every parked worker with a failure indication.
+func (g *gate) stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
 
 // Run executes jobs for indices [start, end). job is called as
 // job(worker, index, attempt); a non-nil return triggers a retry after
@@ -91,50 +225,123 @@ func (s *Scheduler) Workers() int { return s.cfg.Workers }
 // non-nil emit error cancels the run and is returned. A nil emit is
 // allowed when only job side effects matter.
 func (s *Scheduler) Run(start, end int, job func(worker, index, attempt int) error, emit func(index int) error) error {
+	return s.RunSpans(start, end, nil, job, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if emit != nil {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// RunSpans is the span-granular form of Run: workers claim contiguous
+// index spans off a shared cursor, begin (optional) is called on the
+// worker when it claims a span — callers use it to set up per-span state
+// such as encode buffers — and emitSpan is called serially with each
+// completed span in ascending index order (spans partition [start,end), so
+// consecutive calls are contiguous). job semantics match Run. An emitSpan
+// error cancels the run and is returned.
+func (s *Scheduler) RunSpans(start, end int,
+	begin func(worker, lo, hi int),
+	job func(worker, index, attempt int) error,
+	emitSpan func(lo, hi int) error,
+) error {
 	if start >= end {
 		return nil
 	}
 	limiter := newTokenBucket(s.cfg.RatePerSec, float64(s.cfg.Burst), s.now)
 
-	idxCh := make(chan int)
-	doneCh := make(chan int, s.cfg.Workers)
-	stop := make(chan struct{})
-	var stopOnce sync.Once
-	cancel := func() { stopOnce.Do(func() { close(stop) }) }
-
-	// credits implements the dispatch window: the feeder takes one per
-	// index, the collector returns one per in-order emit, so at most
-	// Window indices are ever issued-but-unemitted.
-	credits := make(chan struct{}, s.cfg.Window)
-	for i := 0; i < s.cfg.Window; i++ {
-		credits <- struct{}{}
+	spanSize := s.spanSizeFor(end - start)
+	window := s.maxWindow
+	minWindow := window
+	if s.adaptive {
+		minWindow = 2 * s.cfg.Workers
+		if minWindow < 16 {
+			minWindow = 16
+		}
+		// A window below a full round of spans would idle workers
+		// regardless of spread; start there and grow on evidence.
+		if floor := spanSize * s.cfg.Workers; minWindow < floor {
+			minWindow = floor
+		}
+		if minWindow > s.maxWindow {
+			minWindow = s.maxWindow
+		}
+		window = minWindow
 	}
 
-	go func() { // feeder
-		defer close(idxCh)
-		for i := start; i < end; i++ {
-			select {
-			case <-credits:
-			case <-stop:
-				return
+	g := newGate(start, window)
+	var cursor atomic.Int64
+	cursor.Store(int64(start))
+	doneCh := make(chan span, s.cfg.Workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() {
+		stopOnce.Do(func() {
+			close(stop)
+			g.stop()
+		})
+	}
+
+	claim := func() (span, bool) {
+		for {
+			lo := cursor.Load()
+			if lo >= int64(end) {
+				return span{}, false
 			}
-			select {
-			case idxCh <- i:
-			case <-stop:
-				return
+			hi := lo + int64(spanSize)
+			// Shrink near the tail so the last few spans spread over
+			// the pool instead of parking on one worker.
+			if remaining := int64(end) - lo; remaining < int64(spanSize*s.cfg.Workers) {
+				size := remaining / int64(s.cfg.Workers)
+				if size < 1 {
+					size = 1
+				}
+				hi = lo + size
+			}
+			if hi > int64(end) {
+				hi = int64(end)
+			}
+			if cursor.CompareAndSwap(lo, hi) {
+				return span{int(lo), int(hi)}, true
 			}
 		}
-	}()
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.Workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for i := range idxCh {
-				s.runJob(worker, i, job, limiter, stop)
+			for {
 				select {
-				case doneCh <- i:
+				case <-stop:
+					return
+				default:
+				}
+				sp, ok := claim()
+				if !ok {
+					return
+				}
+				if begin != nil {
+					begin(worker, sp.lo, sp.hi)
+				}
+				for i := sp.lo; i < sp.hi; i++ {
+					if !g.wait(i) {
+						return
+					}
+					s.runJob(worker, i, job, limiter, stop)
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				select {
+				case doneCh <- sp:
 				case <-stop:
 					return
 				}
@@ -146,36 +353,67 @@ func (s *Scheduler) Run(start, end int, job func(worker, index, attempt int) err
 		close(doneCh)
 	}()
 
-	// Re-sequence completions: workers finish in arbitrary order, sinks
-	// must see index order. The dispatch window caps issued-but-unemitted
-	// indices at Window, so a fixed ring indexed by i mod Window holds the
-	// pending set — constant memory for any campaign size, no map churn on
-	// the per-target path.
-	pending := make([]bool, s.cfg.Window)
+	// Re-sequence completions: workers finish spans in arbitrary order,
+	// sinks must see index order. Spans partition the range, so a small
+	// list ordered by lo (at most window/spanSize + workers entries)
+	// re-sequences them; the gate caps how far execution runs ahead, so
+	// the list — and any per-index state the caller retains until emit —
+	// stays bounded for any campaign size.
+	var pending []span
 	next := start
 	var emitErr error
-	for i := range doneCh {
-		pending[i%s.cfg.Window] = true
-		for emitErr == nil && pending[next%s.cfg.Window] {
-			pending[next%s.cfg.Window] = false
-			if emit != nil {
-				if err := emit(next); err != nil {
-					emitErr = err
-					cancel()
-				}
+	// spreadEwma tracks how far beyond the frontier completed spans land,
+	// the dispersion the adaptive window sizes against.
+	var spreadEwma float64
+	for sp := range doneCh {
+		// Insert keeping pending sorted by lo.
+		at := len(pending)
+		for i, q := range pending {
+			if sp.lo < q.lo {
+				at = i
+				break
 			}
-			next++
-			select {
-			case credits <- struct{}{}: // reopen the window
-			default:
-				// Unreachable by credit accounting (every emitted
-				// index holds exactly one credit); non-blocking as
-				// insurance against future drift.
+		}
+		pending = append(pending, span{})
+		copy(pending[at+1:], pending[at:])
+		pending[at] = sp
+
+		if s.adaptive {
+			spread := float64(sp.hi - next)
+			spreadEwma += 0.125 * (spread - spreadEwma)
+		}
+
+		advanced := false
+		for emitErr == nil && len(pending) > 0 && pending[0].lo == next {
+			q := pending[0]
+			pending = pending[:copy(pending, pending[1:])]
+			if err := emitSpan(q.lo, q.hi); err != nil {
+				emitErr = err
+				cancel()
+				break
 			}
+			next = q.hi
+			advanced = true
+		}
+		if advanced && emitErr == nil {
+			if s.adaptive {
+				window = clampInt(s.cfg.Workers+2*int(spreadEwma), minWindow, s.maxWindow)
+			}
+			g.advance(next, window)
 		}
 	}
 	cancel()
 	return emitErr
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // runJob drives one index through its attempts. Rate-limit and backoff

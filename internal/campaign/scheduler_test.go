@@ -2,7 +2,10 @@ package campaign
 
 import (
 	"errors"
+	"math/rand/v2"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -103,16 +106,28 @@ func TestSchedulerRetriesExhausted(t *testing.T) {
 }
 
 // TestSchedulerDispatchWindow checks the bounded re-sequencing contract:
-// while a slow job holds the emit frontier, dispatch never runs more than
-// Window indices ahead, so completed-but-unemitted state stays bounded.
+// while a slow job holds the emit frontier, job execution never runs more
+// than Window indices ahead, so completed-but-unemitted state (and any
+// per-index ring the caller keys on MaxWindow) stays bounded.
 func TestSchedulerDispatchWindow(t *testing.T) {
 	const window = 8
-	s := NewScheduler(SchedulerConfig{Workers: 2, Window: window})
+	s := NewScheduler(SchedulerConfig{Workers: 4, Window: window})
 	release := make(chan struct{})
-	var once sync.Once
 	var mu sync.Mutex
-	maxStarted, completed := 0, 0
+	maxStarted := 0
 	emitted := 0
+	// Index 0 holds the frontier; after the pool has had ample time to
+	// overreach (wrongly) past the window, check and release.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		mu.Lock()
+		got := maxStarted
+		mu.Unlock()
+		if got >= window {
+			t.Errorf("execution reached index %d with frontier held; window is %d", got, window)
+		}
+		close(release)
+	}()
 	err := s.Run(0, 100,
 		func(worker, index, attempt int) error {
 			mu.Lock()
@@ -122,25 +137,6 @@ func TestSchedulerDispatchWindow(t *testing.T) {
 			mu.Unlock()
 			if index == 0 {
 				<-release // hold the emit frontier
-				return nil
-			}
-			mu.Lock()
-			completed++
-			saturated := completed == window-1
-			mu.Unlock()
-			if saturated {
-				// Everything the window allows has finished; give the
-				// feeder a moment to (wrongly) overreach, then check.
-				go func() {
-					time.Sleep(20 * time.Millisecond)
-					mu.Lock()
-					got := maxStarted
-					mu.Unlock()
-					if got >= window {
-						t.Errorf("dispatch reached index %d with frontier held; window is %d", got, window)
-					}
-					once.Do(func() { close(release) })
-				}()
 			}
 			return nil
 		},
@@ -218,6 +214,196 @@ func TestSchedulerCancelInterruptsRateWait(t *testing.T) {
 	}
 	if elapsed := time.Since(began); elapsed > time.Second {
 		t.Fatalf("cancel took %v; rate-limit waits were not interrupted", elapsed)
+	}
+}
+
+// TestSchedulerEmitErrorMidBatch checks cancellation when the emit error
+// is raised partway through a span's indices: the error must surface, and
+// workers mid-span (including ones parked on the window gate) must unwind
+// promptly instead of finishing the campaign.
+func TestSchedulerEmitErrorMidBatch(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 4, Batch: 8})
+	sentinel := errors.New("sink full mid-batch")
+	var jobs atomic.Int64
+	began := time.Now()
+	err := s.Run(0, 10_000,
+		func(worker, index, attempt int) error {
+			jobs.Add(1)
+			return nil
+		},
+		func(index int) error {
+			if index == 13 { // mid-span for every batch size > 1
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if elapsed := time.Since(began); elapsed > 5*time.Second {
+		t.Fatalf("mid-batch cancel took %v", elapsed)
+	}
+	// The window bounds how much work can have been dispatched past the
+	// failed emit; a full run would be 10000 jobs.
+	if got := jobs.Load(); got > int64(s.MaxWindow())+13+1 {
+		t.Fatalf("ran %d jobs after mid-batch emit error; window is %d", got, s.MaxWindow())
+	}
+}
+
+// TestSchedulerStopDuringRetryBackoff checks that a worker parked in a
+// retry backoff sleep aborts when the run is cancelled: the backoff here
+// is far longer than the test budget, so completing promptly proves the
+// sleep was interrupted.
+func TestSchedulerStopDuringRetryBackoff(t *testing.T) {
+	// Batch 1 keeps the clean index in its own span, so its emit (the
+	// cancellation trigger) is not gated on the failing spans finishing.
+	s := NewScheduler(SchedulerConfig{Workers: 2, Retries: 3, Backoff: time.Minute, Batch: 1})
+	sentinel := errors.New("emit failed")
+	began := time.Now()
+	err := s.Run(0, 8,
+		func(worker, index, attempt int) error {
+			if index == 0 {
+				// Give the other worker time to enter its backoff sleep.
+				time.Sleep(50 * time.Millisecond)
+				return nil
+			}
+			return errors.New("always failing: park in backoff")
+		},
+		func(index int) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if elapsed := time.Since(began); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v; a minute-long backoff was not interrupted", elapsed)
+	}
+}
+
+// TestSchedulerStopBlockedInTokenTake checks that workers blocked inside
+// tokenBucket.take abort on cancellation even at batch granularity (span
+// dispatch under rate limiting degrades to single-index spans, but the
+// cancel path must hold regardless of the configured batch).
+func TestSchedulerStopBlockedInTokenTake(t *testing.T) {
+	// One token up front, then one every 10 minutes: every worker but the
+	// first parks inside take.
+	s := NewScheduler(SchedulerConfig{Workers: 4, RatePerSec: 1.0 / 600, Burst: 1, Batch: 16})
+	sentinel := errors.New("emit failed")
+	began := time.Now()
+	err := s.Run(0, 100,
+		func(worker, index, attempt int) error { return nil },
+		func(index int) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if elapsed := time.Since(began); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v; token waits were not interrupted", elapsed)
+	}
+}
+
+// TestSchedulerSpanCoverage is the exactly-once property of span
+// dispatch: for randomized worker/window/batch combinations (including
+// degenerate ones — window smaller than batch, batch larger than the
+// run), every index in [start,end) runs exactly once, spans partition the
+// range, and emits arrive in strict index order.
+func TestSchedulerSpanCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 40; trial++ {
+		workers := 1 + rng.IntN(8)
+		window := rng.IntN(3) * (1 + rng.IntN(20)) // 0 = adaptive, else 1..40 (clamped)
+		batch := rng.IntN(4) * (1 + rng.IntN(30))  // 0 = adaptive, else 1..90
+		start := rng.IntN(5)
+		end := start + rng.IntN(400)
+		s := NewScheduler(SchedulerConfig{Workers: workers, Window: window, Batch: batch})
+
+		ran := make([]int32, end)
+		var mu sync.Mutex
+		var begun []int // alternating lo, hi
+		var emitted []int
+		err := s.RunSpans(start, end,
+			func(worker, lo, hi int) {
+				mu.Lock()
+				begun = append(begun, lo, hi)
+				mu.Unlock()
+			},
+			func(worker, index, attempt int) error {
+				atomic.AddInt32(&ran[index], 1)
+				return nil
+			},
+			func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					emitted = append(emitted, i)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("trial %d (w=%d win=%d batch=%d [%d,%d)): %v", trial, workers, window, batch, start, end, err)
+		}
+		for i := start; i < end; i++ {
+			if ran[i] != 1 {
+				t.Fatalf("trial %d (w=%d win=%d batch=%d): index %d ran %d times", trial, workers, window, batch, i, ran[i])
+			}
+		}
+		if len(emitted) != end-start {
+			t.Fatalf("trial %d: emitted %d of %d", trial, len(emitted), end-start)
+		}
+		for k, v := range emitted {
+			if v != start+k {
+				t.Fatalf("trial %d: emit order broken at %d: got %d", trial, k, v)
+			}
+		}
+		// Spans must partition [start,end): sorted by lo they must tile
+		// exactly, with no overlap or gap.
+		type sp struct{ lo, hi int }
+		spans := make([]sp, 0, len(begun)/2)
+		for i := 0; i < len(begun); i += 2 {
+			spans = append(spans, sp{begun[i], begun[i+1]})
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		at := start
+		for _, q := range spans {
+			if q.lo != at || q.hi <= q.lo || q.hi > end {
+				t.Fatalf("trial %d: spans do not partition [%d,%d): %v", trial, start, end, spans)
+			}
+			at = q.hi
+		}
+		if at != end {
+			t.Fatalf("trial %d: spans stop at %d, want %d", trial, at, end)
+		}
+	}
+}
+
+// TestSchedulerAdaptiveWindowBounds drives a run with wildly uneven job
+// latencies under the adaptive window and checks the structural
+// guarantees the ring-buffer callers rely on: execution never runs more
+// than MaxWindow ahead of the emit frontier, and everything completes.
+func TestSchedulerAdaptiveWindowBounds(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: 8}) // Window 0: adaptive
+	maxW := s.MaxWindow()
+	var mu sync.Mutex
+	frontier := 0
+	worst := 0
+	err := s.Run(0, 500,
+		func(worker, index, attempt int) error {
+			mu.Lock()
+			if ahead := index - frontier; ahead > worst {
+				worst = ahead
+			}
+			mu.Unlock()
+			if index%97 == 0 {
+				time.Sleep(2 * time.Millisecond) // straggler
+			}
+			return nil
+		},
+		func(index int) error {
+			mu.Lock()
+			frontier = index + 1
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst >= maxW {
+		t.Fatalf("execution ran %d ahead of the frontier; MaxWindow is %d", worst, maxW)
 	}
 }
 

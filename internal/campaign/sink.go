@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/csv"
 	"io"
 	"strconv"
@@ -51,6 +52,16 @@ func (s *JSONLSink) Emit(r *TargetResult) error {
 	return s.bw.WriteByte('\n')
 }
 
+// EmitBatch writes a batch of pre-encoded, newline-terminated records in
+// one Write — the in-order collector's half of the campaign's batched
+// pipeline (workers render records with TargetResult.AppendJSON as they
+// finish; the serial path just concatenates). Bytes must match what Emit
+// would produce for the same results, which AppendJSON guarantees.
+func (s *JSONLSink) EmitBatch(records []byte) error {
+	_, err := s.bw.Write(records)
+	return err
+}
+
 // Flush implements Sink.
 func (s *JSONLSink) Flush() error { return s.bw.Flush() }
 
@@ -71,6 +82,7 @@ func (s *JSONLSink) Close() error {
 // first row; on resume the campaign rebuilds the file from the replayed
 // prefix rather than appending.
 type CSVSink struct {
+	w         io.Writer // underlying writer, for pre-encoded batch writes
 	cw        *csv.Writer
 	c         io.Closer
 	wroteHead bool
@@ -90,7 +102,7 @@ var csvHeader = []string{
 
 // NewCSVSink wraps w. If w is an io.Closer it is closed by Close.
 func NewCSVSink(w io.Writer) *CSVSink {
-	s := &CSVSink{cw: csv.NewWriter(w)}
+	s := &CSVSink{w: w, cw: csv.NewWriter(w)}
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
@@ -99,15 +111,10 @@ func NewCSVSink(w io.Writer) *CSVSink {
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// Emit implements Sink.
-func (s *CSVSink) Emit(r *TargetResult) error {
-	if !s.wroteHead {
-		s.wroteHead = true
-		if err := s.cw.Write(csvHeader); err != nil {
-			return err
-		}
-	}
-	s.row = append(s.row[:0],
+// appendCSVFields builds r's row in csvHeader order. Shared by the serial
+// sink and the worker-side row encoder so both render identical bytes.
+func appendCSVFields(row []string, r *TargetResult) []string {
+	return append(row,
 		strconv.Itoa(r.Index), r.Name, r.Profile, r.Impairment, r.Test,
 		strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Attempts),
 		r.Err, r.DCTExcluded,
@@ -118,7 +125,42 @@ func (s *CSVSink) Emit(r *TargetResult) error {
 		strconv.Itoa(r.SeqMaxExtent), strconv.Itoa(r.SeqNReordering),
 		fmtFloat(r.SeqDupthreshExposure),
 	)
+}
+
+// Emit implements Sink.
+func (s *CSVSink) Emit(r *TargetResult) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	s.row = appendCSVFields(s.row[:0], r)
 	return s.cw.Write(s.row)
+}
+
+// writeHeader writes the column header once.
+func (s *CSVSink) writeHeader() error {
+	if s.wroteHead {
+		return nil
+	}
+	s.wroteHead = true
+	return s.cw.Write(csvHeader)
+}
+
+// EmitBatch writes a batch of rows pre-encoded by a CSVRowEncoder in one
+// Write, emitting the header first if no row preceded it. Encoder and
+// sink share one encoding (encoding/csv over appendCSVFields), so mixing
+// EmitBatch with per-record Emit — as a resume does when it rebuilds the
+// replayed prefix — yields the same bytes as an all-Emit stream.
+func (s *CSVSink) EmitBatch(rows []byte) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	// Order the raw write after anything buffered in the csv writer.
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		return err
+	}
+	_, err := s.w.Write(rows)
+	return err
 }
 
 // Flush implements Sink.
@@ -137,6 +179,39 @@ func (s *CSVSink) Close() error {
 		}
 	}
 	return err
+}
+
+// CSVRowEncoder renders TargetResults to CSV row bytes — byte-identical
+// to CSVSink.Emit, because it runs the same fields through the same
+// encoding/csv writer — into a reusable buffer. Campaign workers each own
+// one and render rows as results complete; the in-order collector then
+// flushes whole spans with CSVSink.EmitBatch. Not safe for concurrent
+// use: one worker, one encoder.
+type CSVRowEncoder struct {
+	buf bytes.Buffer
+	cw  *csv.Writer
+	row []string
+}
+
+// NewCSVRowEncoder returns an encoder with its own scratch writer.
+func NewCSVRowEncoder() *CSVRowEncoder {
+	e := &CSVRowEncoder{}
+	e.cw = csv.NewWriter(&e.buf)
+	return e
+}
+
+// AppendRow appends r's encoded CSV row (with line terminator) to dst.
+func (e *CSVRowEncoder) AppendRow(dst []byte, r *TargetResult) ([]byte, error) {
+	e.buf.Reset()
+	e.row = appendCSVFields(e.row[:0], r)
+	if err := e.cw.Write(e.row); err != nil {
+		return dst, err
+	}
+	e.cw.Flush()
+	if err := e.cw.Error(); err != nil {
+		return dst, err
+	}
+	return append(dst, e.buf.Bytes()...), nil
 }
 
 // FuncSink adapts a function to the Sink interface, for tests and

@@ -46,24 +46,36 @@ var Tests = []string{"single", "dual", "syn", "transfer"}
 // survey's "popular site" analogue).
 const LBPool = "lb-pool"
 
+// catalog and lbBackends cache the host catalog and the load-balanced
+// pool's backend prototypes: profiles are immutable values (their IPID
+// closures are stateless and their Ports slices are read-only), so the
+// probe hot path can share one copy instead of rebuilding the catalog per
+// target. Callers that mutate a profile (ObjectSize sizing) copy first.
+var (
+	catalog    = host.Catalog()
+	lbBackends = []host.Profile{
+		host.FreeBSD4(), host.Linux22(), host.Windows2000(), host.FreeBSD4(),
+	}
+)
+
 // Profiles returns the names enumerable as campaign targets: the full
 // host catalog plus the load-balanced pool.
 func Profiles() []string {
 	var names []string
-	for _, p := range host.Catalog() {
+	for _, p := range catalog {
 		names = append(names, p.Name)
 	}
 	return append(names, LBPool)
 }
 
 // resolveProfile maps a profile name to the scenario skeleton it implies.
+// The returned config's Backends share the cached prototype slice; callers
+// that modify backend profiles must copy it (see probeTarget).
 func resolveProfile(name string) (simnet.Config, error) {
 	if name == LBPool {
-		return simnet.Config{Backends: []host.Profile{
-			host.FreeBSD4(), host.Linux22(), host.Windows2000(), host.FreeBSD4(),
-		}}, nil
+		return simnet.Config{Backends: lbBackends}, nil
 	}
-	for _, p := range host.Catalog() {
+	for _, p := range catalog {
 		if p.Name == name {
 			return simnet.Config{Server: p}, nil
 		}
@@ -148,17 +160,22 @@ func Impairments() []Impairment {
 	}
 }
 
+// impairments caches the registry: the Build closures are stateless (all
+// randomness comes from the stream passed in), so one copy serves every
+// worker.
+var impairments = Impairments()
+
 // ImpairmentNames returns the registry names in registry order.
 func ImpairmentNames() []string {
 	var names []string
-	for _, im := range Impairments() {
+	for _, im := range impairments {
 		names = append(names, im.Name)
 	}
 	return names
 }
 
 func impairmentByName(name string) (Impairment, error) {
-	for _, im := range Impairments() {
+	for _, im := range impairments {
 		if im.Name == name {
 			return im, nil
 		}

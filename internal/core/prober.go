@@ -40,6 +40,7 @@ type Prober struct {
 	txHdr      packet.TCPHeader
 	txIP       packet.IPv4Header
 	pktPool    []*packet.Packet
+	connPool   []*conn
 	acksBuf    []uint32
 	ackIDs     []uint64
 	synReplies []*packet.Packet
@@ -192,9 +193,20 @@ func defaultConnect() connectConfig {
 	return connectConfig{window: 65535, retries: 3, timeout: time.Second}
 }
 
+// getConn checks connection state out of the pool; conn.reset returns it.
+func (p *Prober) getConn() *conn {
+	if n := len(p.connPool); n > 0 {
+		c := p.connPool[n-1]
+		p.connPool = p.connPool[:n-1]
+		return c
+	}
+	return new(conn)
+}
+
 // connect performs the three-way handshake.
 func (p *Prober) connect(rport uint16, cc connectConfig) (*conn, error) {
-	c := &conn{
+	c := p.getConn()
+	*c = conn{
 		p: p, lport: p.allocPort(), rport: rport,
 		iss:    p.rng.Uint32(),
 		window: cc.window,
@@ -221,6 +233,7 @@ func (p *Prober) connect(rport uint16, cc connectConfig) (*conn, error) {
 		c.sendSeg(packet.FlagACK, c.iss+1, c.rcvNxt, nil, nil)
 		return c, nil
 	}
+	p.connPool = append(p.connPool, c)
 	return nil, fmt.Errorf("%w: %s port %d", ErrHandshake, p.target, rport)
 }
 
@@ -286,8 +299,11 @@ func (c *conn) awaitAckValue(timeout time.Duration, want uint32) bool {
 	return ok
 }
 
-// reset aborts the connection with a RST and flushes its buffered packets.
+// reset aborts the connection with a RST, flushes its buffered packets and
+// returns the connection state to the prober's pool. The conn must not be
+// used after reset.
 func (c *conn) reset() {
 	c.sendSeg(packet.FlagRST, c.iss+1, 0, nil, nil)
 	c.p.flushPort(c.lport)
+	c.p.connPool = append(c.p.connPool, c)
 }

@@ -72,6 +72,7 @@ func (p *Prober) SingleConnectionTest(o SCTOptions) (*Result, error) {
 	defer c.reset()
 
 	res := &Result{Test: "single", Target: p.target}
+	res.Samples = make([]Sample, 0, o.Samples)
 	base := c.iss + 1 // the next byte the server expects from us
 	for i := 0; i < o.Samples; i++ {
 		s := p.sctSample(c, &base, o)

@@ -31,12 +31,18 @@ type ICMPConfig struct {
 type Host struct {
 	Stack *tcpstack.Stack
 
-	loop *sim.Loop
-	addr netip.Addr
-	gen  ipid.Generator
-	ids  *netem.FrameIDs
-	out  netem.Node
-	icmp ICMPConfig
+	loop    *sim.Loop
+	addr    netip.Addr
+	profile string
+	gen     ipid.Generator
+	ids     *netem.FrameIDs
+	out     netem.Node
+	icmp    ICMPConfig
+
+	// ipidRng and isnRng are the two streams New forks from the build
+	// stream, retained so Reset can reseed them in place instead of
+	// allocating fresh forks (see sim.Rand.ForkInto).
+	ipidRng, isnRng *sim.Rand
 
 	reasm      *packet.Reassembler
 	udpApps    map[uint16]func(*packet.Packet)
@@ -53,17 +59,47 @@ type Host struct {
 // New builds a host at addr from a profile. The rng seeds the stack's ISN
 // generator and any stochastic IPID policy. Frames are transmitted to out.
 func New(loop *sim.Loop, p Profile, addr netip.Addr, rng *sim.Rand, ids *netem.FrameIDs, out netem.Node) *Host {
-	gen := p.IPID(rng.Fork(forkIPID))
 	h := &Host{
-		loop: loop, addr: addr, gen: gen, ids: ids, out: out, icmp: p.ICMP,
-		tokens: float64(p.ICMP.RatePerSec),
+		loop: loop, addr: addr, profile: p.Name, ids: ids, out: out, icmp: p.ICMP,
+		tokens:  float64(p.ICMP.RatePerSec),
+		ipidRng: rng.Fork(forkIPID),
 	}
-	h.Stack = tcpstack.New(loop, p.TCP, addr, gen, ids, rng.Fork(forkISN), out)
+	h.gen = p.IPID(h.ipidRng)
+	h.isnRng = rng.Fork(forkISN)
+	h.Stack = tcpstack.New(loop, p.TCP, addr, h.gen, ids, h.isnRng, out)
 	for _, port := range p.Ports {
 		h.Stack.Listen(port)
 	}
 	return h
 }
+
+// Reset returns the host to the state New(loop, p, addr, rng, ids, out)
+// would produce at its existing address, reusing the TCP stack, connection
+// pool and random stream objects. It consumes rng's draws in exactly the
+// order New does, so a pooled host is observably identical to a fresh one.
+// The caller is expected to reuse hosts for profiles of the same name (so
+// stack shape matches), though any profile is handled correctly.
+func (h *Host) Reset(p Profile, rng *sim.Rand, out netem.Node) {
+	h.profile = p.Name
+	h.out = out
+	h.icmp = p.ICMP
+	h.tokens = float64(p.ICMP.RatePerSec)
+	h.lastRefill = 0
+	h.reasm = nil
+	clear(h.udpApps)
+	h.echoesAnswered, h.echoesDropped = 0, 0
+	rng.ForkInto(h.ipidRng, forkIPID)
+	h.gen = p.IPID(h.ipidRng)
+	rng.ForkInto(h.isnRng, forkISN)
+	h.Stack.Reset(p.TCP, h.gen, out)
+	for _, port := range p.Ports {
+		h.Stack.Listen(port)
+	}
+}
+
+// Profile returns the name of the profile the host was built (or last
+// reset) from, the key scenario pools reuse hosts by.
+func (h *Host) Profile() string { return h.profile }
 
 // SetArena directs the host (and its TCP stack) to allocate transmitted
 // datagrams and frames from a, typically the owning scenario's arena.

@@ -22,6 +22,12 @@ func NewFragmenter(mtu int, next Node) *Fragmenter {
 	return &Fragmenter{mtu: mtu, next: next}
 }
 
+// Reinit reconfigures a pooled hop exactly as NewFragmenter would.
+func (fr *Fragmenter) Reinit(mtu int, next Node) {
+	fr.mtu, fr.next = mtu, next
+	fr.stats = Counters{}
+}
+
 // Stats returns a snapshot of the element's counters. Out counts emitted
 // fragments (or intact frames).
 func (fr *Fragmenter) Stats() Counters { return fr.stats }

@@ -19,6 +19,14 @@ func NewLoss(p float64, rng *sim.Rand, next Node) *Loss {
 	return &Loss{next: next, rng: rng, p: p}
 }
 
+// Reinit reconfigures a pooled element exactly as NewLoss would. rng is
+// normally the stream the element was built with, reseeded by the caller
+// (sim.Rand.ForkInto).
+func (l *Loss) Reinit(p float64, rng *sim.Rand, next Node) {
+	l.next, l.rng, l.p = next, rng, p
+	l.stats = Counters{}
+}
+
 // Stats returns a snapshot of the element's counters.
 func (l *Loss) Stats() Counters { return l.stats }
 
@@ -56,6 +64,13 @@ func NewDelay(loop *sim.Loop, base, jitter time.Duration, rng *sim.Rand, next No
 		d.next.Input(arg.(*Frame))
 	}
 	return d
+}
+
+// Reinit reconfigures a pooled element exactly as NewDelay would, reusing
+// the struct and its cached callback.
+func (d *Delay) Reinit(base, jitter time.Duration, rng *sim.Rand, next Node) {
+	d.next, d.rng, d.base, d.jitter = next, rng, base, jitter
+	d.stats = Counters{}
 }
 
 // Stats returns a snapshot of the element's counters.

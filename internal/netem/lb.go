@@ -38,6 +38,19 @@ func NewLoadBalancer(mode BalanceMode, backends ...Node) *LoadBalancer {
 	return &LoadBalancer{mode: mode, backends: backends, table: make(map[packet.FlowKey]int)}
 }
 
+// Reinit reconfigures a pooled balancer exactly as NewLoadBalancer would,
+// reusing the struct and its flow table's storage. The backends slice is
+// retained as given (callers pooling the balancer typically reuse one
+// slice).
+func (lb *LoadBalancer) Reinit(mode BalanceMode, backends []Node) {
+	if len(backends) == 0 {
+		panic("netem: load balancer needs at least one backend")
+	}
+	lb.mode, lb.backends = mode, backends
+	lb.stats = Counters{}
+	clear(lb.table)
+}
+
 // Stats returns a snapshot of the balancer's counters.
 func (lb *LoadBalancer) Stats() Counters { return lb.stats }
 

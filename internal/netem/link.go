@@ -47,6 +47,15 @@ func NewLink(loop *sim.Loop, cfg LinkConfig, next Node) *Link {
 	return l
 }
 
+// Reinit reconfigures a pooled link exactly as NewLink would, reusing the
+// struct and its cached callbacks. The loop must be the one the link was
+// built on (pools are per-scenario).
+func (l *Link) Reinit(cfg LinkConfig, next Node) {
+	l.cfg, l.next = cfg, next
+	l.stats = Counters{}
+	l.busyUntil, l.queued = 0, 0
+}
+
 // Stats returns a snapshot of the link's counters.
 func (l *Link) Stats() Counters { return l.stats }
 
@@ -72,8 +81,16 @@ func (l *Link) Input(f *Frame) {
 	}
 	departure := start.Add(l.TxTime(f.Len()))
 	l.busyUntil = departure
-	l.queued++
 	arrival := departure.Add(l.cfg.PropDelay)
-	l.loop.AtArg(departure, l.departFn, nil)
+	// The departure event only maintains the queue occupancy counter; an
+	// unbounded link never reads it, so elide the event — one heap
+	// operation per frame instead of two on the campaign's hot path.
+	// busyUntil alone carries the serialization state either way, and
+	// removing an event never perturbs the relative order of the rest
+	// (ties break by scheduling order, which is preserved).
+	if l.cfg.QueueLimit > 0 {
+		l.queued++
+		l.loop.AtArg(departure, l.departFn, nil)
+	}
 	l.loop.AtArg(arrival, l.deliverFn, f)
 }

@@ -57,6 +57,18 @@ func NewMultiPath(loop *sim.Loop, cfg MultiPathConfig, rng *sim.Rand, next Node)
 	return m
 }
 
+// Reinit reconfigures a pooled sprayer exactly as NewMultiPath would,
+// reusing the struct, its cached callback and its per-member state slice.
+func (m *MultiPath) Reinit(cfg MultiPathConfig, rng *sim.Rand, next Node) {
+	if len(cfg.Delays) == 0 {
+		cfg.Delays = []time.Duration{time.Millisecond, time.Millisecond + 100*time.Microsecond}
+	}
+	m.cfg, m.rng, m.next = cfg, rng, next
+	m.stats = Counters{}
+	m.nextM = 0
+	m.lastArrival = resetTimes(m.lastArrival, len(cfg.Delays))
+}
+
 // Stats returns a snapshot of the element's counters.
 func (m *MultiPath) Stats() Counters { return m.stats }
 
@@ -127,6 +139,15 @@ func NewARQLink(loop *sim.Loop, cfg ARQConfig, rng *sim.Rand, next Node) *ARQLin
 		l.next.Input(arg.(*Frame))
 	}
 	return l
+}
+
+// Reinit reconfigures a pooled ARQ link exactly as NewARQLink would,
+// reusing the struct and its cached callback.
+func (l *ARQLink) Reinit(cfg ARQConfig, rng *sim.Rand, next Node) {
+	cfg.setDefaults()
+	l.cfg, l.rng, l.next = cfg, rng, next
+	l.stats = Counters{}
+	l.release = 0
 }
 
 // Stats returns a snapshot of the element's counters. Swapped counts
@@ -201,6 +222,21 @@ func NewPriorityQueue(loop *sim.Loop, cfg PriorityConfig, next Node) *PriorityQu
 		q.kick()
 	}
 	return q
+}
+
+// Reinit reconfigures a pooled scheduler exactly as NewPriorityQueue
+// would, reusing the struct, its cached callback and its queue storage.
+func (q *PriorityQueue) Reinit(cfg PriorityConfig, next Node) {
+	if cfg.HighTOSMask == 0 {
+		cfg.HighTOSMask = 0x10
+	}
+	if cfg.RateBps == 0 {
+		cfg.RateBps = 100_000_000
+	}
+	q.cfg, q.next = cfg, next
+	q.stats = Counters{}
+	q.busyUntil = 0
+	q.high, q.low = q.high[:0], q.low[:0]
 }
 
 // Stats returns a snapshot of the element's counters.

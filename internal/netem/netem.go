@@ -70,6 +70,11 @@ func NewTap(loop *sim.Loop, next Node, fn func(*Frame, sim.Time)) *Tap {
 	return &Tap{next: next, fn: fn, loop: loop}
 }
 
+// SetNext rewires the tap's downstream node, so scenario owners can pool
+// taps across topology rebuilds (the capture callback and loop are fixed
+// at construction).
+func (t *Tap) SetNext(next Node) { t.next = next }
+
 // Input implements Node.
 func (t *Tap) Input(f *Frame) {
 	if t.fn != nil {

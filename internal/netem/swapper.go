@@ -16,7 +16,8 @@ type Swapper struct {
 	loop  *sim.Loop
 	next  Node
 	rng   *sim.Rand
-	prob  func(sim.Time) float64
+	prob  func(sim.Time) float64 // nil: use the fixed probability
+	fixed float64
 	flush time.Duration
 	stats Counters
 
@@ -30,11 +31,14 @@ const DefaultFlushAfter = 50 * time.Millisecond
 
 // NewSwapper returns a swapper with fixed probability p feeding next.
 func NewSwapper(loop *sim.Loop, p float64, rng *sim.Rand, next Node) *Swapper {
-	return NewSwapperFunc(loop, func(sim.Time) float64 { return p }, rng, next)
+	s := NewSwapperFunc(loop, nil, rng, next)
+	s.fixed = p
+	return s
 }
 
 // NewSwapperFunc returns a swapper whose probability varies with virtual
-// time, used to model paths whose reordering rate drifts (Fig 6).
+// time, used to model paths whose reordering rate drifts (Fig 6). A nil
+// prob means the fixed probability (zero until set).
 func NewSwapperFunc(loop *sim.Loop, prob func(sim.Time) float64, rng *sim.Rand, next Node) *Swapper {
 	s := &Swapper{loop: loop, next: next, rng: rng, prob: prob, flush: DefaultFlushAfter}
 	s.flushFn = func(arg any) {
@@ -46,6 +50,25 @@ func NewSwapperFunc(loop *sim.Loop, prob func(sim.Time) float64, rng *sim.Rand, 
 		}
 	}
 	return s
+}
+
+// Reinit reconfigures a pooled swapper exactly as NewSwapper (prob == nil,
+// fixed probability p) or NewSwapperFunc (prob != nil) would, reusing the
+// struct and its cached flush callback.
+func (s *Swapper) Reinit(prob func(sim.Time) float64, p float64, rng *sim.Rand, next Node) {
+	s.next, s.rng, s.prob, s.fixed = next, rng, prob, p
+	s.flush = DefaultFlushAfter
+	s.stats = Counters{}
+	s.held = nil
+	s.flushTimer = sim.Timer{}
+}
+
+// probAt returns the swap probability in effect at time t.
+func (s *Swapper) probAt(t sim.Time) float64 {
+	if s.prob != nil {
+		return s.prob(t)
+	}
+	return s.fixed
 }
 
 // SetFlushAfter overrides the hold timeout.
@@ -69,7 +92,7 @@ func (s *Swapper) Input(f *Frame) {
 		s.next.Input(held)
 		return
 	}
-	if s.rng.Bool(s.prob(s.loop.Now())) {
+	if s.rng.Bool(s.probAt(s.loop.Now())) {
 		s.held = f
 		s.flushTimer = s.loop.ScheduleArg(s.flush, s.flushFn, f)
 		return

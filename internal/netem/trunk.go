@@ -72,6 +72,31 @@ func NewStripedTrunk(loop *sim.Loop, cfg TrunkConfig, rng *sim.Rand, next Node) 
 	return t
 }
 
+// Reinit reconfigures a pooled trunk exactly as NewStripedTrunk would,
+// reusing the struct, its cached callback and (capacity permitting) its
+// per-member state slice.
+func (t *StripedTrunk) Reinit(cfg TrunkConfig, rng *sim.Rand, next Node) {
+	cfg.setDefaults()
+	t.cfg, t.rng, t.next = cfg, rng, next
+	t.stats = Counters{}
+	t.nextMember = 0
+	t.lastArrivalTime = 0
+	t.lastDeparture = resetTimes(t.lastDeparture, cfg.FanOut)
+}
+
+// resetTimes returns a zeroed sim.Time slice of length n, reusing s's
+// storage when it is large enough.
+func resetTimes(s []sim.Time, n int) []sim.Time {
+	if cap(s) < n {
+		return make([]sim.Time, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // Stats returns a snapshot of the trunk's counters. Swapped counts frames
 // that arrived downstream earlier than a frame injected before them.
 func (t *StripedTrunk) Stats() Counters { return t.stats }

@@ -107,6 +107,88 @@ type Net struct {
 	// in this scenario; Reset rewinds it, which is what makes a reused Net
 	// allocation-free at steady state.
 	arena *netem.Arena
+
+	// pool retains the topology object graph across Resets: network
+	// elements (with their random streams), hosts (with their TCP stacks
+	// and connection pools) and the capture taps. build draws from it, so
+	// a reused Net rebuilds an arbitrary topology with almost no
+	// allocation — the elements are reinitialized, not reconstructed.
+	pool topoPool
+
+	// buildRng is the construction stream, reseeded per build.
+	buildRng *sim.Rand
+
+	// probeSink is the reverse path's terminal node, built once.
+	probeSink netem.Node
+}
+
+// elemRng pairs a pooled element with the random stream it was built on;
+// reuse reseeds the stream in place (sim.Rand.ForkInto) so a rebuilt
+// element draws exactly what a fresh fork would.
+type elemRng[E any] struct {
+	el  E
+	rng *sim.Rand
+}
+
+// topoPool holds free and in-use topology objects by type. Reset moves
+// every in-use object back to its free list before rebuilding.
+type topoPool struct {
+	freeLinks, usedLinks             []*netem.Link
+	freeDelays, usedDelays           []elemRng[*netem.Delay]
+	freeLosses, usedLosses           []elemRng[*netem.Loss]
+	freeSwappers, usedSwappers       []elemRng[*netem.Swapper]
+	freeTrunks, usedTrunks           []elemRng[*netem.StripedTrunk]
+	freeMultiPaths, usedMultiPaths   []elemRng[*netem.MultiPath]
+	freeARQs, usedARQs               []elemRng[*netem.ARQLink]
+	freePriorities, usedPriorities   []*netem.PriorityQueue
+	freeFragmenters, usedFragmenters []*netem.Fragmenter
+
+	// hosts are pooled by profile name so a reused host's stack shape
+	// matches the profile it is reset to (several identically named
+	// backends pool as distinct instances). Each host keeps the build
+	// stream it was constructed from, reseeded on reuse.
+	freeHosts map[string][]elemRng[*host.Host]
+	usedHosts []elemRng[*host.Host]
+
+	// lb and lbBackends persist the load balancer and its backend slice.
+	lb         *netem.LoadBalancer
+	lbBackends []netem.Node
+
+	// pathRngs are the two per-direction construction streams (forward,
+	// reverse), reseeded per build.
+	pathRngs [2]*sim.Rand
+
+	// taps caches the four capture pass-throughs, keyed by capture.
+	taps map[*trace.Capture]*netem.Tap
+}
+
+// recycle moves every in-use element to its free list.
+func (p *topoPool) recycle() {
+	p.freeLinks = append(p.freeLinks, p.usedLinks...)
+	p.usedLinks = p.usedLinks[:0]
+	p.freeDelays = append(p.freeDelays, p.usedDelays...)
+	p.usedDelays = p.usedDelays[:0]
+	p.freeLosses = append(p.freeLosses, p.usedLosses...)
+	p.usedLosses = p.usedLosses[:0]
+	p.freeSwappers = append(p.freeSwappers, p.usedSwappers...)
+	p.usedSwappers = p.usedSwappers[:0]
+	p.freeTrunks = append(p.freeTrunks, p.usedTrunks...)
+	p.usedTrunks = p.usedTrunks[:0]
+	p.freeMultiPaths = append(p.freeMultiPaths, p.usedMultiPaths...)
+	p.usedMultiPaths = p.usedMultiPaths[:0]
+	p.freeARQs = append(p.freeARQs, p.usedARQs...)
+	p.usedARQs = p.usedARQs[:0]
+	p.freePriorities = append(p.freePriorities, p.usedPriorities...)
+	p.usedPriorities = p.usedPriorities[:0]
+	p.freeFragmenters = append(p.freeFragmenters, p.usedFragmenters...)
+	p.usedFragmenters = p.usedFragmenters[:0]
+	if len(p.usedHosts) > 0 && p.freeHosts == nil {
+		p.freeHosts = make(map[string][]elemRng[*host.Host])
+	}
+	for _, h := range p.usedHosts {
+		p.freeHosts[h.el.Profile()] = append(p.freeHosts[h.el.Profile()], h)
+	}
+	p.usedHosts = p.usedHosts[:0]
 }
 
 // Default addressing: one probe, one published server address.
@@ -137,10 +219,11 @@ func New(cfg Config) *Net {
 // IDs, captures, probe inbox — and rebuilds the topology for cfg, exactly
 // as New would. A reset Net is observably identical to a fresh New(cfg):
 // construction consumes the seed's random streams in the same order, the
-// clock restarts at zero and frame IDs restart at one. Campaign workers
-// reuse one Net across thousands of targets this way, turning per-target
-// scenario construction from the dominant allocation cost into a handful
-// of small element structs.
+// clock restarts at zero and frame IDs restart at one. The topology object
+// graph — network elements, hosts with their TCP stacks, capture taps —
+// is pooled across Resets and reinitialized rather than rebuilt, so
+// campaign workers reusing one Net across thousands of targets pay almost
+// no allocation for per-target scenario construction.
 func (n *Net) Reset(cfg Config) {
 	n.Loop.Reset()
 	n.arena.Reset()
@@ -153,15 +236,22 @@ func (n *Net) Reset(cfg Config) {
 	n.LB = nil
 	n.endpoint = nil
 	n.probe.reset()
+	n.pool.recycle()
 	n.build(cfg)
 }
 
 // build wires the topology for cfg onto the (fresh or reset) containers.
 // The order of random-stream forks here is part of the hermeticity
-// contract: Reset must consume cfg.Seed's streams exactly as New does.
+// contract: Reset must consume cfg.Seed's streams exactly as New does —
+// pooled elements reseed the same streams a fresh construction would fork
+// (sim.Rand.ForkInto draws from the parent exactly as Fork does).
 func (n *Net) build(cfg Config) {
-	loop := n.Loop
-	rng := sim.NewRand(cfg.Seed, 0x5eed)
+	if n.buildRng == nil {
+		n.buildRng = sim.NewRand(cfg.Seed, 0x5eed)
+	} else {
+		n.buildRng.Reseed(cfg.Seed, 0x5eed)
+	}
+	rng := n.buildRng
 
 	// tap wires a capture point, or passes through untapped when captures
 	// are disabled.
@@ -169,72 +259,261 @@ func (n *Net) build(cfg Config) {
 		if cfg.DisableCaptures {
 			return next
 		}
-		return c.Tap(loop, next)
+		return n.getTap(c, next)
 	}
 
 	// Reverse direction: host egress tap -> reverse path -> probe ingress
 	// tap -> probe inbox.
-	probeSink := netem.NodeFunc(func(f *netem.Frame) { n.probe.deliver(f) })
-	revEntry := buildPath(loop, rng.Fork(2), cfg.Reverse.defaults(), tap(n.ProbeIngress, probeSink))
+	if n.probeSink == nil {
+		n.probeSink = netem.NodeFunc(func(f *netem.Frame) { n.probe.deliver(f) })
+	}
+	revEntry := n.buildPath(n.pathRng(1, 2, rng), cfg.Reverse.defaults(), tap(n.ProbeIngress, n.probeSink))
 	hostOut := tap(n.HostEgress, revEntry)
 
 	// Servers.
 	var serverSide netem.Node
 	if len(cfg.Backends) > 0 {
-		backends := make([]netem.Node, len(cfg.Backends))
+		backends := n.pool.lbBackends[:0]
 		for i, p := range cfg.Backends {
-			h := host.New(loop, p, n.serverAddr, rng.Fork(uint64(100+i)), n.IDs, hostOut)
-			h.SetArena(n.arena)
+			h := n.getHost(p, rng, uint64(100+i), hostOut)
 			n.Hosts = append(n.Hosts, h)
-			backends[i] = h
+			backends = append(backends, h)
 		}
-		n.LB = netem.NewLoadBalancer(cfg.LBMode, backends...)
+		n.pool.lbBackends = backends
+		if n.pool.lb == nil {
+			n.pool.lb = netem.NewLoadBalancer(cfg.LBMode, backends...)
+		} else {
+			n.pool.lb.Reinit(cfg.LBMode, backends)
+		}
+		n.LB = n.pool.lb
 		serverSide = n.LB
 	} else {
-		h := host.New(loop, cfg.Server, n.serverAddr, rng.Fork(100), n.IDs, hostOut)
-		h.SetArena(n.arena)
+		h := n.getHost(cfg.Server, rng, 100, hostOut)
 		n.Hosts = append(n.Hosts, h)
 		serverSide = h
 	}
 
 	// Forward direction: probe egress tap -> forward path -> host ingress
 	// tap -> server side.
-	fwdEntry := buildPath(loop, rng.Fork(1), cfg.Forward.defaults(), tap(n.HostIngress, serverSide))
+	fwdEntry := n.buildPath(n.pathRng(0, 1, rng), cfg.Forward.defaults(), tap(n.HostIngress, serverSide))
 	n.probe.egress = tap(n.ProbeEgress, fwdEntry)
 }
 
+// pathRng returns the per-direction construction stream idx, forked from
+// rng with the given label — reseeding the retained stream object when one
+// exists.
+func (n *Net) pathRng(idx int, label uint64, rng *sim.Rand) *sim.Rand {
+	n.pool.pathRngs[idx] = rng.ForkInto(n.pool.pathRngs[idx], label)
+	return n.pool.pathRngs[idx]
+}
+
+// getTap returns the pooled capture tap for c rewired to next, creating it
+// on first use.
+func (n *Net) getTap(c *trace.Capture, next netem.Node) netem.Node {
+	if t := n.pool.taps[c]; t != nil {
+		t.SetNext(next)
+		return t
+	}
+	if n.pool.taps == nil {
+		n.pool.taps = make(map[*trace.Capture]*netem.Tap, 4)
+	}
+	t := c.Tap(n.Loop, next)
+	n.pool.taps[c] = t
+	return t
+}
+
+// getHost returns a host for profile p transmitting to out — a pooled one
+// of the same profile name reset in place when available, else a fresh
+// build. Either way it consumes one draw of rng (the host's build fork).
+func (n *Net) getHost(p host.Profile, rng *sim.Rand, label uint64, out netem.Node) *host.Host {
+	if free := n.pool.freeHosts[p.Name]; len(free) > 0 {
+		hr := free[len(free)-1]
+		n.pool.freeHosts[p.Name] = free[:len(free)-1]
+		rng.ForkInto(hr.rng, label)
+		hr.el.Reset(p, hr.rng, out)
+		hr.el.SetArena(n.arena)
+		n.pool.usedHosts = append(n.pool.usedHosts, hr)
+		return hr.el
+	}
+	child := rng.Fork(label)
+	h := host.New(n.Loop, p, n.serverAddr, child, n.IDs, out)
+	h.SetArena(n.arena)
+	n.pool.usedHosts = append(n.pool.usedHosts, elemRng[*host.Host]{el: h, rng: child})
+	return h
+}
+
 // buildPath composes a direction's elements ending at dst and returns the
-// entry node. Element order: access link (serialization + propagation),
-// jitter, loss, swapper, striped trunk.
-func buildPath(loop *sim.Loop, rng *sim.Rand, spec PathSpec, dst netem.Node) netem.Node {
+// entry node, drawing every element from the topology pool. Element order:
+// access link (serialization + propagation), jitter, loss, swapper,
+// striped trunk.
+func (n *Net) buildPath(rng *sim.Rand, spec PathSpec, dst netem.Node) netem.Node {
 	node := dst
 	if spec.Trunk != nil {
-		node = netem.NewStripedTrunk(loop, *spec.Trunk, rng.Fork(4), node)
+		node = n.getTrunk(*spec.Trunk, rng, 4, node)
 	}
 	if spec.MultiPath != nil {
-		node = netem.NewMultiPath(loop, *spec.MultiPath, rng.Fork(6), node)
+		node = n.getMultiPath(*spec.MultiPath, rng, 6, node)
 	}
 	if spec.ARQ != nil {
-		node = netem.NewARQLink(loop, *spec.ARQ, rng.Fork(5), node)
+		node = n.getARQ(*spec.ARQ, rng, 5, node)
 	}
 	if spec.Priority != nil {
-		node = netem.NewPriorityQueue(loop, *spec.Priority, node)
+		node = n.getPriority(*spec.Priority, node)
 	}
 	if spec.SwapProbFn != nil {
-		node = netem.NewSwapperFunc(loop, spec.SwapProbFn, rng.Fork(3), node)
+		node = n.getSwapper(spec.SwapProbFn, 0, rng, 3, node)
 	} else if spec.SwapProb > 0 {
-		node = netem.NewSwapper(loop, spec.SwapProb, rng.Fork(3), node)
+		node = n.getSwapper(nil, spec.SwapProb, rng, 3, node)
 	}
 	if spec.Loss > 0 {
-		node = netem.NewLoss(spec.Loss, rng.Fork(2), node)
+		node = n.getLoss(spec.Loss, rng, 2, node)
 	}
 	if spec.Jitter > 0 {
-		node = netem.NewDelay(loop, 0, spec.Jitter, rng.Fork(1), node)
+		node = n.getDelay(0, spec.Jitter, rng, 1, node)
 	}
 	if spec.MTU > 0 {
-		node = netem.NewFragmenter(spec.MTU, node)
+		node = n.getFragmenter(spec.MTU, node)
 	}
-	return netem.NewLink(loop, netem.LinkConfig{RateBps: spec.LinkRate, PropDelay: spec.Delay}, node)
+	return n.getLink(netem.LinkConfig{RateBps: spec.LinkRate, PropDelay: spec.Delay}, node)
+}
+
+// The pooled element getters below all follow one shape: pop a free
+// element and Reinit it (reseeding its retained stream exactly as a fresh
+// fork would draw), or construct one and remember it; either way the
+// element lands on the in-use list for the next recycle.
+
+func (n *Net) getLink(cfg netem.LinkConfig, next netem.Node) *netem.Link {
+	var l *netem.Link
+	if k := len(n.pool.freeLinks); k > 0 {
+		l = n.pool.freeLinks[k-1]
+		n.pool.freeLinks = n.pool.freeLinks[:k-1]
+		l.Reinit(cfg, next)
+	} else {
+		l = netem.NewLink(n.Loop, cfg, next)
+	}
+	n.pool.usedLinks = append(n.pool.usedLinks, l)
+	return l
+}
+
+func (n *Net) getDelay(base, jitter time.Duration, rng *sim.Rand, label uint64, next netem.Node) *netem.Delay {
+	if k := len(n.pool.freeDelays); k > 0 {
+		p := n.pool.freeDelays[k-1]
+		n.pool.freeDelays = n.pool.freeDelays[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(base, jitter, p.rng, next)
+		n.pool.usedDelays = append(n.pool.usedDelays, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	d := netem.NewDelay(n.Loop, base, jitter, child, next)
+	n.pool.usedDelays = append(n.pool.usedDelays, elemRng[*netem.Delay]{el: d, rng: child})
+	return d
+}
+
+func (n *Net) getLoss(prob float64, rng *sim.Rand, label uint64, next netem.Node) *netem.Loss {
+	if k := len(n.pool.freeLosses); k > 0 {
+		p := n.pool.freeLosses[k-1]
+		n.pool.freeLosses = n.pool.freeLosses[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(prob, p.rng, next)
+		n.pool.usedLosses = append(n.pool.usedLosses, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	l := netem.NewLoss(prob, child, next)
+	n.pool.usedLosses = append(n.pool.usedLosses, elemRng[*netem.Loss]{el: l, rng: child})
+	return l
+}
+
+func (n *Net) getSwapper(probFn func(sim.Time) float64, prob float64, rng *sim.Rand, label uint64, next netem.Node) *netem.Swapper {
+	if k := len(n.pool.freeSwappers); k > 0 {
+		p := n.pool.freeSwappers[k-1]
+		n.pool.freeSwappers = n.pool.freeSwappers[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(probFn, prob, p.rng, next)
+		n.pool.usedSwappers = append(n.pool.usedSwappers, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	var s *netem.Swapper
+	if probFn != nil {
+		s = netem.NewSwapperFunc(n.Loop, probFn, child, next)
+	} else {
+		s = netem.NewSwapper(n.Loop, prob, child, next)
+	}
+	n.pool.usedSwappers = append(n.pool.usedSwappers, elemRng[*netem.Swapper]{el: s, rng: child})
+	return s
+}
+
+func (n *Net) getTrunk(cfg netem.TrunkConfig, rng *sim.Rand, label uint64, next netem.Node) *netem.StripedTrunk {
+	if k := len(n.pool.freeTrunks); k > 0 {
+		p := n.pool.freeTrunks[k-1]
+		n.pool.freeTrunks = n.pool.freeTrunks[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(cfg, p.rng, next)
+		n.pool.usedTrunks = append(n.pool.usedTrunks, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	t := netem.NewStripedTrunk(n.Loop, cfg, child, next)
+	n.pool.usedTrunks = append(n.pool.usedTrunks, elemRng[*netem.StripedTrunk]{el: t, rng: child})
+	return t
+}
+
+func (n *Net) getMultiPath(cfg netem.MultiPathConfig, rng *sim.Rand, label uint64, next netem.Node) *netem.MultiPath {
+	if k := len(n.pool.freeMultiPaths); k > 0 {
+		p := n.pool.freeMultiPaths[k-1]
+		n.pool.freeMultiPaths = n.pool.freeMultiPaths[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(cfg, p.rng, next)
+		n.pool.usedMultiPaths = append(n.pool.usedMultiPaths, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	m := netem.NewMultiPath(n.Loop, cfg, child, next)
+	n.pool.usedMultiPaths = append(n.pool.usedMultiPaths, elemRng[*netem.MultiPath]{el: m, rng: child})
+	return m
+}
+
+func (n *Net) getARQ(cfg netem.ARQConfig, rng *sim.Rand, label uint64, next netem.Node) *netem.ARQLink {
+	if k := len(n.pool.freeARQs); k > 0 {
+		p := n.pool.freeARQs[k-1]
+		n.pool.freeARQs = n.pool.freeARQs[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(cfg, p.rng, next)
+		n.pool.usedARQs = append(n.pool.usedARQs, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	l := netem.NewARQLink(n.Loop, cfg, child, next)
+	n.pool.usedARQs = append(n.pool.usedARQs, elemRng[*netem.ARQLink]{el: l, rng: child})
+	return l
+}
+
+func (n *Net) getPriority(cfg netem.PriorityConfig, next netem.Node) *netem.PriorityQueue {
+	var q *netem.PriorityQueue
+	if k := len(n.pool.freePriorities); k > 0 {
+		q = n.pool.freePriorities[k-1]
+		n.pool.freePriorities = n.pool.freePriorities[:k-1]
+		q.Reinit(cfg, next)
+	} else {
+		q = netem.NewPriorityQueue(n.Loop, cfg, next)
+	}
+	n.pool.usedPriorities = append(n.pool.usedPriorities, q)
+	return q
+}
+
+func (n *Net) getFragmenter(mtu int, next netem.Node) *netem.Fragmenter {
+	var f *netem.Fragmenter
+	if k := len(n.pool.freeFragmenters); k > 0 {
+		f = n.pool.freeFragmenters[k-1]
+		n.pool.freeFragmenters = n.pool.freeFragmenters[:k-1]
+		f.Reinit(mtu, next)
+	} else {
+		f = netem.NewFragmenter(mtu, next)
+	}
+	n.pool.usedFragmenters = append(n.pool.usedFragmenters, f)
+	return f
 }
 
 // Probe returns the probe-side transport.

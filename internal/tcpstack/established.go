@@ -129,8 +129,10 @@ func (s *Stack) insertOOO(c *conn, seq, end uint32) {
 	c.ooo = out
 
 	if c.sackOK {
+		// Rebuild newest-first into the connection's scratch list, then
+		// swap the two: no allocation once both have reached capacity 4.
 		nb := packet.SACKBlock{Left: merged.seq, Right: merged.end}
-		blocks := []packet.SACKBlock{nb}
+		blocks := append(c.sackAlt[:0], nb)
 		for _, b := range c.sack {
 			if b.Left == nb.Left && b.Right == nb.Right {
 				continue
@@ -144,7 +146,7 @@ func (s *Stack) insertOOO(c *conn, seq, end uint32) {
 				break
 			}
 		}
-		c.sack = blocks
+		c.sack, c.sackAlt = blocks, c.sack
 	}
 }
 
@@ -153,11 +155,17 @@ func (s *Stack) insertOOO(c *conn, seq, end uint32) {
 // segment (i.e. the arriving segment filled a hole).
 func (s *Stack) mergeOOO(c *conn) bool {
 	filled := false
-	for len(c.ooo) > 0 && packet.SeqLEQ(c.ooo[0].seq, c.rcvNxt) {
-		if packet.SeqGT(c.ooo[0].end, c.rcvNxt) {
-			c.rcvNxt = c.ooo[0].end
+	n := 0
+	for n < len(c.ooo) && packet.SeqLEQ(c.ooo[n].seq, c.rcvNxt) {
+		if packet.SeqGT(c.ooo[n].end, c.rcvNxt) {
+			c.rcvNxt = c.ooo[n].end
 		}
-		c.ooo = c.ooo[1:]
+		n++
+	}
+	if n > 0 {
+		// Compact rather than reslice the head away, so the queue's
+		// storage keeps its full capacity for connection-state reuse.
+		c.ooo = c.ooo[:copy(c.ooo, c.ooo[n:])]
 		filled = true
 	}
 	if c.sackOK {
@@ -211,7 +219,7 @@ func (s *Stack) sendAck(c *conn, immediate bool) {
 // on port 80 connections, and a real web server would likewise sit silent
 // until the request completes.
 func (s *Stack) appDeliver(c *conn) {
-	if c.appGotReq || !c.reqNewline || !s.ports[c.lport] {
+	if c.appGotReq || !c.reqNewline || !s.listening(c.lport) {
 		return
 	}
 	c.appGotReq = true

@@ -52,7 +52,7 @@ func TestQuickReceiveInvariants(t *testing.T) {
 			Src: probeAddr, Dst: serverAddr, SrcPort: 4000, DstPort: 80,
 			Proto: packet.ProtoTCP,
 		}
-		c := h.stack.conns[k]
+		c := h.stack.findConn(k)
 		if c == nil {
 			t.Fatal("connection missing")
 		}
@@ -87,7 +87,7 @@ func TestQuickEveryAckReflectsRcvNxt(t *testing.T) {
 		h := newHarness(t, Config{DelAckThreshold: 1}) // quickack: every segment acked
 		h.handshake(4000, 500)
 		k := packet.FlowKey{Src: probeAddr, Dst: serverAddr, SrcPort: 4000, DstPort: 80, Proto: packet.ProtoTCP}
-		c := h.stack.conns[k]
+		c := h.stack.findConn(k)
 		rng := sim.NewRand(seed, 5)
 		for i := 0; i < 60; i++ {
 			off := uint32(rng.IntN(20))

@@ -166,6 +166,7 @@ type conn struct {
 	sackOK  bool
 	ooo     []oooSeg           // out-of-order segments, disjoint, sorted by seq
 	sack    []packet.SACKBlock // reportable blocks, most recent first
+	sackAlt []packet.SACKBlock // scratch for rebuilding sack without allocating
 
 	delackCount int
 	delackTimer sim.Timer
@@ -180,15 +181,19 @@ type conn struct {
 
 // Stack is one host's TCP implementation.
 type Stack struct {
-	loop  *sim.Loop
-	cfg   Config
-	addr  netip.Addr
-	gen   ipid.Generator
-	ids   *netem.FrameIDs
-	out   netem.Node
-	rng   *sim.Rand
-	conns map[packet.FlowKey]*conn
-	ports map[uint16]bool
+	loop *sim.Loop
+	cfg  Config
+	addr netip.Addr
+	gen  ipid.Generator
+	ids  *netem.FrameIDs
+	out  netem.Node
+	rng  *sim.Rand
+	// conns is a linear-scan table: a serving stack holds a handful of
+	// live connections, where a slice scan beats map hashing on the
+	// per-segment path (the hash of a FlowKey costs more than comparing
+	// a few entries).
+	conns []connEntry
+	ports []uint16 // listening ports, typically one
 	stats Stats
 
 	// Steady-state scratch: the stack handles one segment at a time on a
@@ -205,6 +210,18 @@ type Stack struct {
 	mssData    [2]byte
 	delackFn   func(any)
 	rtxFn      func(any)
+
+	// connPool recycles connection state: dropped connections return here
+	// and acceptSYN reuses them (including their OOO/SACK slice storage),
+	// so a long-lived stack reaches a steady state where accepting a
+	// connection allocates nothing.
+	connPool []*conn
+}
+
+// connEntry is one live connection in the stack's linear-scan table.
+type connEntry struct {
+	k packet.FlowKey
+	c *conn
 }
 
 // New returns a stack for addr that transmits via out, stamping IPIDs from
@@ -213,8 +230,6 @@ func New(loop *sim.Loop, cfg Config, addr netip.Addr, gen ipid.Generator, ids *n
 	s := &Stack{
 		loop: loop, cfg: cfg.Defaults(), addr: addr, gen: gen, ids: ids,
 		out: out, rng: rng,
-		conns: make(map[packet.FlowKey]*conn),
-		ports: make(map[uint16]bool),
 	}
 	s.delackFn = func(arg any) {
 		s.stats.DelayedAcks++
@@ -224,13 +239,62 @@ func New(loop *sim.Loop, cfg Config, addr netip.Addr, gen ipid.Generator, ids *n
 	return s
 }
 
+// findConn returns the live connection for k, or nil.
+func (s *Stack) findConn(k packet.FlowKey) *conn {
+	for i := range s.conns {
+		if s.conns[i].k == k {
+			return s.conns[i].c
+		}
+	}
+	return nil
+}
+
+// listening reports whether port accepts connections.
+func (s *Stack) listening(port uint16) bool {
+	for _, p := range s.ports {
+		if p == port {
+			return true
+		}
+	}
+	return false
+}
+
 // SetArena directs the stack to allocate transmitted datagrams and frames
 // from a, typically the owning scenario's arena. A nil arena (the default)
 // falls back to the garbage collector.
 func (s *Stack) SetArena(a *netem.Arena) { s.arena = a }
 
+// Reset returns the stack to the state New(loop, cfg, addr, gen, ids, rng,
+// out) would produce, keeping its scratch storage, connection pool and the
+// random stream object (which the caller reseeds, see sim.Rand.ForkInto).
+// Pooled scenario hosts reuse their stacks across topology rebuilds this
+// way. Live connections are recycled; listening ports are cleared for the
+// caller to re-Listen.
+func (s *Stack) Reset(cfg Config, gen ipid.Generator, out netem.Node) {
+	s.cfg = cfg.Defaults()
+	s.gen = gen
+	s.out = out
+	s.stats = Stats{}
+	for i := range s.conns {
+		s.recycleConn(s.conns[i].c)
+	}
+	s.conns = s.conns[:0]
+	s.ports = s.ports[:0]
+}
+
+// recycleConn returns connection state to the pool. Timers need no Stop
+// here when the owning loop was reset (stale handles are inert), and a
+// Stop on a live loop is the caller's concern (see dropConn).
+func (s *Stack) recycleConn(c *conn) {
+	s.connPool = append(s.connPool, c)
+}
+
 // Listen opens a port; segments to it are served by the data application.
-func (s *Stack) Listen(port uint16) { s.ports[port] = true }
+func (s *Stack) Listen(port uint16) {
+	if !s.listening(port) {
+		s.ports = append(s.ports, port)
+	}
+}
 
 // Addr returns the stack's address.
 func (s *Stack) Addr() netip.Addr { return s.addr }
@@ -260,13 +324,13 @@ func segKey(p *packet.Packet) packet.FlowKey { return p.Flow() }
 
 func (s *Stack) handleSegment(p *packet.Packet) {
 	k := segKey(p)
-	c, ok := s.conns[k]
+	c := s.findConn(k)
 	hdr := p.TCP
 	switch {
-	case ok:
+	case c != nil:
 		s.handleConn(k, c, p)
 	case hdr.HasFlags(packet.FlagSYN) && !hdr.HasFlags(packet.FlagACK):
-		if !s.ports[hdr.DstPort] {
+		if !s.listening(hdr.DstPort) {
 			s.maybeRSTClosed(p)
 			return
 		}
@@ -325,7 +389,8 @@ func segLen(p *packet.Packet) uint32 {
 
 func (s *Stack) acceptSYN(k packet.FlowKey, p *packet.Packet) {
 	hdr := p.TCP
-	c := &conn{
+	c := s.getConn()
+	*c = conn{
 		state: stateSynRecv,
 		peer:  p.IP.Src, pport: hdr.SrcPort, lport: hdr.DstPort,
 		iss:     s.rng.Uint32(),
@@ -333,6 +398,9 @@ func (s *Stack) acceptSYN(k packet.FlowKey, p *packet.Packet) {
 		rcvNxt:  hdr.Seq + 1,
 		peerWnd: uint32(hdr.Window),
 		peerMSS: 1460,
+		ooo:     c.ooo[:0],
+		sack:    c.sack[:0],
+		sackAlt: c.sackAlt[:0],
 	}
 	if mss, ok := hdr.MSS(); ok {
 		c.peerMSS = mss
@@ -340,8 +408,18 @@ func (s *Stack) acceptSYN(k packet.FlowKey, p *packet.Packet) {
 	c.sackOK = s.cfg.SACK && hdr.SACKPermitted()
 	c.sndNxt = c.iss + 1
 	c.sndUna = c.iss
-	s.conns[k] = c
+	s.conns = append(s.conns, connEntry{k: k, c: c})
 	s.sendSynAck(c)
+}
+
+// getConn checks connection state out of the pool.
+func (s *Stack) getConn() *conn {
+	if n := len(s.connPool); n > 0 {
+		c := s.connPool[n-1]
+		s.connPool = s.connPool[:n-1]
+		return c
+	}
+	return &conn{}
 }
 
 func (s *Stack) sendSynAck(c *conn) {
@@ -444,5 +522,14 @@ func (s *Stack) secondSYN(k packet.FlowKey, c *conn, p *packet.Packet) {
 func (s *Stack) dropConn(k packet.FlowKey, c *conn) {
 	c.delackTimer.Stop()
 	c.rtxTimer.Stop()
-	delete(s.conns, k)
+	for i := range s.conns {
+		if s.conns[i].k == k {
+			last := len(s.conns) - 1
+			s.conns[i] = s.conns[last]
+			s.conns[last] = connEntry{}
+			s.conns = s.conns[:last]
+			break
+		}
+	}
+	s.recycleConn(c)
 }

@@ -161,6 +161,9 @@ type (
 	JSONLSink = campaign.JSONLSink
 	// CSVSink streams results as CSV rows.
 	CSVSink = campaign.CSVSink
+	// CSVRowEncoder renders results to CSV row bytes byte-identically to
+	// CSVSink, for batched (one-Write-per-span) emission pipelines.
+	CSVRowEncoder = campaign.CSVRowEncoder
 	// CampaignCheckpoint records durable campaign progress.
 	CampaignCheckpoint = campaign.Checkpoint
 )
@@ -177,6 +180,8 @@ var (
 	ProbeCampaignTarget = campaign.ProbeTarget
 	// NewScheduler returns a configured worker pool.
 	NewScheduler = campaign.NewScheduler
+	// NewCSVRowEncoder returns a worker-side CSV row encoder.
+	NewCSVRowEncoder = campaign.NewCSVRowEncoder
 	// CampaignProfiles lists the enumerable host profile names.
 	CampaignProfiles = campaign.Profiles
 	// CampaignImpairments lists the named path impairments.
