@@ -88,6 +88,8 @@ func gitRev() string {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_probe.json", "benchmark history file (appended, not overwritten)")
+	maxRegression := fs.Float64("max-regression", 0,
+		"fail (exit non-zero) when any benchmark's ns/op regresses more than this percentage over the best prior history record (0 disables)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -185,6 +187,27 @@ func run(args []string, stdout io.Writer) error {
 	recordPoint("CampaignThroughput-w8", len(targets), campaignBench(8, 0))
 	recordPoint("CampaignThroughput-w8-b16", len(targets), campaignBench(8, 16))
 
+	// CampaignParallel: the BenchmarkCampaignParallel legs — the 8-worker
+	// batched campaign pinned to GOMAXPROCS 1, 4 and 8 — so the committed
+	// record carries real multi-core scaling, not just whatever the bench
+	// host happened to default to. On machines with fewer cores the higher
+	// legs repeat the capped figure.
+	for _, procs := range []int{1, 4, 8} {
+		procs := procs
+		recordPoint(fmt.Sprintf("CampaignParallel-p%d", procs), len(targets), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Run(campaign.Config{
+					Targets: targets, Samples: 8, Workers: 8, Batch: 16,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	// CampaignAggregator: aggregation cost isolated from probe cost, over
 	// the same synthetic workload BenchmarkCampaignAggregator measures.
 	results := campaign.SyntheticResults(10_000)
@@ -200,6 +223,40 @@ func run(args []string, stdout io.Writer) error {
 		}
 	})
 
+	// Regression gate: each point is held against the BEST (lowest) ns/op
+	// any comparable prior record achieved for that name — regressing
+	// against your best, not just your previous, is what keeps a slow
+	// creep of small losses from hiding inside run-to-run noise.
+	// Comparable means same GOMAXPROCS and go version: the history mixes
+	// records from different machines, and holding a CI runner to a
+	// faster developer box's figures (or an 8-core box to a 1-core one)
+	// would make the gate fire on hardware, not code.
+	var regressions []string
+	if *maxRegression > 0 {
+		best := map[string]float64{}
+		for _, r := range hist.Records {
+			if r.GOMAXPROCS != rec.GOMAXPROCS || r.GoVersion != rec.GoVersion {
+				continue
+			}
+			for _, p := range r.Points {
+				if p.NsPerOp > 0 && (best[p.Name] == 0 || p.NsPerOp < best[p.Name]) {
+					best[p.Name] = p.NsPerOp
+				}
+			}
+		}
+		for _, p := range rec.Points {
+			b, ok := best[p.Name]
+			if !ok || b <= 0 {
+				continue // no prior baseline for this point
+			}
+			if limit := b * (1 + *maxRegression/100); p.NsPerOp > limit {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f ns/op exceeds best %.0f ns/op by more than %.0f%%",
+						p.Name, p.NsPerOp, b, *maxRegression))
+			}
+		}
+	}
+
 	hist.Records = append(hist.Records, rec)
 	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
@@ -209,5 +266,8 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "appended record %d to %s\n", len(hist.Records), *out)
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench: performance regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
 	return nil
 }

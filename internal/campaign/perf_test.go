@@ -150,11 +150,12 @@ func TestAppendJSONMatchesMarshal(t *testing.T) {
 }
 
 // TestProbeAllocBudget pins the steady-state probe allocation budget: a
-// warmed arena probe must stay under 30 allocations (the seed's cost was
-// ~930, PR 3 brought it to 77, topology pooling to single digits). A
-// regression here means a fast-path allocation crept back in — an element
-// rebuilt instead of reinitialized, a random stream forked instead of
-// reseeded, a per-connection struct escaping its pool.
+// warmed arena probe must stay under 10 allocations (the seed's cost was
+// ~930, PR 3 brought it to 77, topology pooling to 3, and the frame-view
+// fast path holds there with zero codec allocations). A regression here
+// means a fast-path allocation crept back in — an element rebuilt instead
+// of reinitialized, a payload literal escaping through an interface call,
+// a per-connection struct escaping its pool.
 func TestProbeAllocBudget(t *testing.T) {
 	tg := Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
 	arena := NewProbeArena()
@@ -169,7 +170,7 @@ func TestProbeAllocBudget(t *testing.T) {
 			t.Fatalf("probe errored: %s", res.Err)
 		}
 	})
-	const budget = 30
+	const budget = 10
 	if allocs > budget {
 		t.Fatalf("steady-state probe allocates %.0f objects, budget %d", allocs, budget)
 	}

@@ -161,14 +161,30 @@ type span struct{ lo, hi int }
 // gate enforces the dispatch window: a worker may run index i only once
 // i < frontier+window. The fast path is two atomic loads; workers park on
 // the condition variable only when the window is actually exhausted.
+//
+// The hot atomics are padded onto their own cache lines: every worker
+// reads frontier and window before every job while the collector stores
+// them after every span, and the claim cursor (dispatchState) is hammered
+// by CAS from all workers — sharing a line between any of these (or with
+// the mutex word) would turn each store into a fleet-wide invalidation.
 type gate struct {
+	_        [64]byte
 	frontier atomic.Int64 // next index to emit (all before are emitted)
+	_        [56]byte
 	window   atomic.Int64
+	_        [56]byte
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	waiting int
 	stopped bool
+}
+
+// dispatchState holds the shared claim cursor on its own cache line.
+type dispatchState struct {
+	_      [64]byte
+	cursor atomic.Int64
+	_      [56]byte
 }
 
 func newGate(start, window int) *gate {
@@ -274,7 +290,8 @@ func (s *Scheduler) RunSpans(start, end int,
 	}
 
 	g := newGate(start, window)
-	var cursor atomic.Int64
+	ds := &dispatchState{}
+	cursor := &ds.cursor
 	cursor.Store(int64(start))
 	doneCh := make(chan span, s.cfg.Workers)
 	stop := make(chan struct{})

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"reorder/internal/metrics"
+	"reorder/internal/netem"
+	"reorder/internal/packet"
 	"reorder/internal/sim"
 )
 
@@ -52,6 +54,25 @@ type Transport interface {
 	Sleep(d time.Duration)
 	// Now returns the transport's notion of current time.
 	Now() sim.Time
+}
+
+// FrameTransport is an optional Transport extension for wires that can
+// carry datagrams in decoded form — the simulated probe NIC. When a
+// transport implements it, the prober sends parsed headers instead of
+// encoding wire bytes and consumes received frames' decoded views instead
+// of re-decoding, eliminating the per-segment codec round trip entirely.
+// Raw-socket transports (internal/livewire) simply don't implement it and
+// keep the byte path.
+type FrameTransport interface {
+	Transport
+	// SendView injects one IPv4+TCP datagram given as parsed headers plus
+	// payload, returning the frame ID exactly as Send would for the
+	// encoded equivalent. The transport copies what it keeps; the caller
+	// may reuse ip, tcp and payload immediately.
+	SendView(ip *packet.IPv4Header, tcp *packet.TCPHeader, payload []byte) uint64
+	// RecvFrame is Recv returning the frame itself; a frame with an
+	// attached view needs no decoding at all.
+	RecvFrame(timeout time.Duration) (*netem.Frame, bool)
 }
 
 // Verdict classifies one direction of one sample.

@@ -49,8 +49,10 @@ type Host struct {
 	tokens     float64
 	lastRefill sim.Time
 
-	arena  *netem.Arena
-	encBuf []byte
+	arena *netem.Arena
+	// rxPkt is the host's scratch decoded packet for the UDP/ICMP slow
+	// path; nothing retains it past a handler call.
+	rxPkt packet.Packet
 
 	echoesAnswered uint64
 	echoesDropped  uint64
@@ -117,10 +119,26 @@ func (h *Host) IPIDPolicy() string { return h.gen.Name() }
 // EchoesAnswered returns how many echo requests were answered.
 func (h *Host) EchoesAnswered() uint64 { return h.echoesAnswered }
 
-// Input implements netem.Node: frames from the network. Fragmented
-// datagrams are reassembled first, as the host's IP layer would; the
-// reassembler is built lazily so fragment-free scenarios never pay for it.
+// Input implements netem.Node: frames from the network. Frames carrying a
+// decoded view demultiplex on the cached flow key with zero parsing (and
+// skip reassembly outright — a view frame is never a fragment, and a whole
+// datagram is a reassembler no-op). Byte-form frames are reassembled if
+// fragmented, as the host's IP layer would; the reassembler is built lazily
+// so fragment-free scenarios never pay for it.
 func (h *Host) Input(f *netem.Frame) {
+	if v := f.View(); v != nil {
+		if v.IP.Dst != h.addr {
+			return
+		}
+		switch v.IP.Protocol {
+		case packet.ProtoTCP:
+			h.Stack.Input(f)
+		case packet.ProtoICMP:
+			h.handleICMP(f)
+		}
+		// Views carry only TCP or ICMP; UDP always arrives in byte form.
+		return
+	}
 	if h.reasm != nil || packet.IsFragment(f.Data) {
 		if h.reasm == nil {
 			h.reasm = packet.NewReassembler()
@@ -150,7 +168,8 @@ func (h *Host) Input(f *netem.Frame) {
 // HandleUDP registers an application for UDP datagrams addressed to port —
 // the "deployment at each endpoint" the cooperative IETF measurement
 // methodologies require (§II), which the paper's single-ended techniques
-// exist to avoid.
+// exist to avoid. The packet passed to fn is the host's reused scratch
+// decode; fn must consume it during the call, not retain it.
 func (h *Host) HandleUDP(port uint16, fn func(*packet.Packet)) {
 	if h.udpApps == nil {
 		h.udpApps = make(map[uint16]func(*packet.Packet))
@@ -158,9 +177,24 @@ func (h *Host) HandleUDP(port uint16, fn func(*packet.Packet)) {
 	h.udpApps[port] = fn
 }
 
+// rx produces the host's scratch decoded form of f: the attached view when
+// one exists, else a pooled DecodeInto — never an allocating Decode. The
+// result is valid only until the next rx call; handlers (and registered UDP
+// applications) must not retain it.
+func (h *Host) rx(f *netem.Frame) (*packet.Packet, bool) {
+	if v := f.View(); v != nil {
+		v.ToPacket(&h.rxPkt)
+		return &h.rxPkt, true
+	}
+	if err := packet.DecodeInto(&h.rxPkt, f.Data); err != nil {
+		return nil, false
+	}
+	return &h.rxPkt, true
+}
+
 func (h *Host) handleUDP(f *netem.Frame) {
-	p, err := packet.Decode(f.Data)
-	if err != nil || p.UDP == nil {
+	p, ok := h.rx(f)
+	if !ok || p.UDP == nil {
 		return
 	}
 	if fn := h.udpApps[p.UDP.DstPort]; fn != nil {
@@ -170,27 +204,26 @@ func (h *Host) handleUDP(f *netem.Frame) {
 }
 
 func (h *Host) handleICMP(f *netem.Frame) {
-	p, err := packet.Decode(f.Data)
-	if err != nil || p.ICMP == nil || !p.ICMP.IsRequest() {
+	p, ok := h.rx(f)
+	if !ok || p.ICMP == nil || !p.ICMP.IsRequest() {
 		return
 	}
 	if h.icmp.Filtered || !h.takeToken() {
 		h.echoesDropped++
 		return
 	}
-	reply := &packet.ICMPEcho{
+	reply := packet.ICMPEcho{
 		Type: packet.ICMPEchoReply, Ident: p.ICMP.Ident, Seq: p.ICMP.Seq,
 		Payload: p.ICMP.Payload,
 	}
-	buf, err := packet.AppendICMP(h.encBuf[:0], &packet.IPv4Header{
+	out, err := h.arena.NewICMPFrame(h.ids.Next(), h.loop.Now(), &packet.IPv4Header{
 		Src: h.addr, Dst: p.IP.Src, ID: h.gen.Next(p.IP.Src),
-	}, reply)
+	}, &reply)
 	if err != nil {
 		return
 	}
-	h.encBuf = buf[:0]
 	h.echoesAnswered++
-	h.out.Input(h.arena.NewFrame(h.ids.Next(), h.arena.CopyBytes(buf), h.loop.Now()))
+	h.out.Input(out)
 }
 
 // takeToken implements the ICMP rate limiter as a token bucket refilled in

@@ -20,7 +20,7 @@ type sink struct {
 }
 
 func (s *sink) Input(f *netem.Frame) {
-	p, err := packet.Decode(f.Data)
+	p, err := packet.Decode(f.Materialize())
 	if err != nil {
 		panic(err)
 	}

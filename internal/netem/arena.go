@@ -6,6 +6,7 @@ import (
 
 const (
 	arenaFrameBlock = 512       // frames per block
+	arenaViewBlock  = 512       // frame views per block
 	arenaByteBlock  = 128 << 10 // bytes per slab
 )
 
@@ -25,6 +26,10 @@ type Arena struct {
 	frameBlocks [][]Frame
 	frameBlock  int // index of the block being filled
 	frameUsed   int // frames used in that block
+
+	viewBlocks [][]FrameView
+	viewBlock  int
+	viewUsed   int
 
 	byteBlocks [][]byte
 	byteBlock  int
@@ -49,26 +54,51 @@ func (a *Arena) NewFrame(id uint64, data []byte, born sim.Time) *Frame {
 		a.frameUsed = 0
 	}
 	f.ID, f.Data, f.Born = id, data, born
+	f.view, f.arena = nil, a
 	return f
+}
+
+// newView returns a zero-initialized-enough view cell; the builders in
+// view.go overwrite every field a consumer may read.
+func (a *Arena) newView() *FrameView {
+	if a == nil {
+		return &FrameView{}
+	}
+	if a.viewBlock >= len(a.viewBlocks) {
+		a.viewBlocks = append(a.viewBlocks, make([]FrameView, arenaViewBlock))
+	}
+	block := a.viewBlocks[a.viewBlock]
+	v := &block[a.viewUsed]
+	a.viewUsed++
+	if a.viewUsed == len(block) {
+		a.viewBlock++
+		a.viewUsed = 0
+	}
+	return v
+}
+
+// Alloc returns an empty arena-owned byte slice with capacity n, for
+// callers that encode directly into arena storage (Frame.Materialize).
+func (a *Arena) Alloc(n int) []byte {
+	if a == nil {
+		return make([]byte, 0, n)
+	}
+	if a.byteBlock >= len(a.byteBlocks) || a.byteUsed+n > len(a.byteBlocks[a.byteBlock]) {
+		a.nextByteBlock(n)
+	}
+	block := a.byteBlocks[a.byteBlock]
+	c := block[a.byteUsed : a.byteUsed : a.byteUsed+n]
+	a.byteUsed += n
+	return c
 }
 
 // CopyBytes copies b into arena-owned storage and returns the copy. The
 // caller may immediately reuse b; the copy lives until Reset.
 func (a *Arena) CopyBytes(b []byte) []byte {
-	if a == nil {
-		c := make([]byte, len(b))
-		copy(c, b)
-		return c
+	if len(b) == 0 {
+		return nil
 	}
-	n := len(b)
-	if a.byteBlock >= len(a.byteBlocks) || a.byteUsed+n > len(a.byteBlocks[a.byteBlock]) {
-		a.nextByteBlock(n)
-	}
-	block := a.byteBlocks[a.byteBlock]
-	c := block[a.byteUsed : a.byteUsed+n : a.byteUsed+n]
-	a.byteUsed += n
-	copy(c, b)
-	return c
+	return append(a.Alloc(len(b)), b...)
 }
 
 // nextByteBlock advances to a block with at least n free bytes, reusing
@@ -100,5 +130,6 @@ func (a *Arena) Reset() {
 		return
 	}
 	a.frameBlock, a.frameUsed = 0, 0
+	a.viewBlock, a.viewUsed = 0, 0
 	a.byteBlock, a.byteUsed = 0, 0
 }

@@ -32,10 +32,11 @@ func (fr *Fragmenter) Reinit(mtu int, next Node) {
 // fragments (or intact frames).
 func (fr *Fragmenter) Stats() Counters { return fr.stats }
 
-// Input implements Node.
+// Input implements Node. Fragmenting needs real octets, so this is one of
+// the few elements that materializes a view-built frame.
 func (fr *Fragmenter) Input(f *Frame) {
 	fr.stats.In++
-	frags, err := packet.Fragment(f.Data, fr.mtu)
+	frags, err := packet.Fragment(f.Materialize(), fr.mtu)
 	if err != nil {
 		fr.stats.Dropped++ // DF over MTU, or garbage
 		return

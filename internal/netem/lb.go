@@ -65,10 +65,11 @@ func (lb *LoadBalancer) Backend(k packet.FlowKey) int {
 	return int(k.Hash() % uint64(len(lb.backends)))
 }
 
-// Input implements Node.
+// Input implements Node. Classification uses the frame's cached flow key
+// when a view is attached, falling back to a PeekFlow over the wire bytes.
 func (lb *LoadBalancer) Input(f *Frame) {
 	lb.stats.In++
-	k, ok := packet.PeekFlow(f.Data)
+	k, ok := f.Flow()
 	if !ok {
 		lb.stats.Dropped++
 		return

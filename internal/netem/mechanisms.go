@@ -203,8 +203,11 @@ type PriorityQueue struct {
 	stats Counters
 
 	busyUntil sim.Time
-	high, low []*Frame
-	deliverFn func(any)
+	// high and low are head-indexed queues so steady-state pops reuse the
+	// backing arrays instead of reslicing them away from reuse.
+	high, low         []*Frame
+	highHead, lowHead int
+	deliverFn         func(any)
 }
 
 // NewPriorityQueue returns a scheduler feeding next.
@@ -237,6 +240,7 @@ func (q *PriorityQueue) Reinit(cfg PriorityConfig, next Node) {
 	q.stats = Counters{}
 	q.busyUntil = 0
 	q.high, q.low = q.high[:0], q.low[:0]
+	q.highHead, q.lowHead = 0, 0
 }
 
 // Stats returns a snapshot of the element's counters.
@@ -245,7 +249,7 @@ func (q *PriorityQueue) Stats() Counters { return q.stats }
 // Input implements Node.
 func (q *PriorityQueue) Input(f *Frame) {
 	q.stats.In++
-	if tosOf(f.Data)&q.cfg.HighTOSMask != 0 {
+	if tosOf(f)&q.cfg.HighTOSMask != 0 {
 		q.high = append(q.high, f)
 	} else {
 		q.low = append(q.low, f)
@@ -253,12 +257,16 @@ func (q *PriorityQueue) Input(f *Frame) {
 	q.kick()
 }
 
-// tosOf reads the TOS byte without full decoding.
-func tosOf(data []byte) uint8 {
-	if _, ok := packet.PeekFlow(data); !ok {
+// tosOf reads the TOS byte without full decoding: straight off the view
+// when one is attached, else from the validated wire header.
+func tosOf(f *Frame) uint8 {
+	if v := f.View(); v != nil {
+		return v.IP.TOS
+	}
+	if _, ok := packet.PeekFlow(f.Data); !ok {
 		return 0
 	}
-	return data[1]
+	return f.Data[1]
 }
 
 // kick starts transmission if the line is idle.
@@ -269,10 +277,20 @@ func (q *PriorityQueue) kick() {
 	}
 	var f *Frame
 	switch {
-	case len(q.high) > 0:
-		f, q.high = q.high[0], q.high[1:]
-	case len(q.low) > 0:
-		f, q.low = q.low[0], q.low[1:]
+	case q.highHead < len(q.high):
+		f = q.high[q.highHead]
+		q.high[q.highHead] = nil
+		q.highHead++
+		if q.highHead == len(q.high) {
+			q.high, q.highHead = q.high[:0], 0
+		}
+	case q.lowHead < len(q.low):
+		f = q.low[q.lowHead]
+		q.low[q.lowHead] = nil
+		q.lowHead++
+		if q.lowHead == len(q.low) {
+			q.low, q.lowHead = q.low[:0], 0
+		}
 	default:
 		return
 	}

@@ -10,19 +10,84 @@
 package netem
 
 import (
+	"reorder/internal/packet"
 	"reorder/internal/sim"
 )
 
 // Frame is one IP datagram in flight, tagged with a network-unique ID so
 // traces can establish ground-truth ordering independent of packet contents.
+//
+// A frame carries its datagram in one or both of two forms: wire bytes
+// (Data) and a decoded header view (View). Senders on the fast path build
+// only the view — parsed headers plus payload, no encoding, no checksums —
+// and the wire bytes are materialized lazily by the first element that
+// actually needs octets (a fragmenting hop, a corrupting hop, a capture
+// tap, a byte-oriented receiver). The two forms always agree: wire bytes
+// are only ever produced from the view by Materialize, and both are
+// immutable once attached — an element that wants to alter bytes must copy
+// them into a new frame (see Corrupter). When wire bytes exist they are
+// authoritative; receivers prefer the view only because it is the same
+// datagram already decoded.
 type Frame struct {
 	ID   uint64
-	Data []byte
+	Data []byte   // wire bytes; nil until materialized for view-built frames
 	Born sim.Time // when the frame entered the network
+
+	view  *FrameView
+	arena *Arena // materialization allocator; nil falls back to the heap
 }
 
-// Len returns the frame's wire length in bytes.
-func (f *Frame) Len() int { return len(f.Data) }
+// Len returns the frame's wire length in bytes, without materializing.
+func (f *Frame) Len() int {
+	if f.Data != nil {
+		return len(f.Data)
+	}
+	if f.view != nil {
+		return f.view.wireLen
+	}
+	return 0
+}
+
+// View returns the frame's decoded header view, or nil for frames that
+// exist only as wire bytes (fragments, externally injected datagrams).
+func (f *Frame) View() *FrameView { return f.view }
+
+// Flow returns the frame's transport flow key without touching wire bytes
+// when a view is present, else a PeekFlow over the wire bytes. ok is false
+// only for byte-form frames too short to classify.
+func (f *Frame) Flow() (packet.FlowKey, bool) {
+	if f.view != nil {
+		return f.view.Flow(), true
+	}
+	return packet.PeekFlow(f.Data)
+}
+
+// Materialize returns the frame's wire bytes, encoding them from the view
+// on first need. The bytes come from the frame's arena (the heap outside
+// arena-managed scenarios) and are identical to what the sender would have
+// encoded eagerly; once attached they are immutable and authoritative.
+func (f *Frame) Materialize() []byte {
+	if f.Data != nil || f.view == nil {
+		return f.Data
+	}
+	v := f.view
+	buf := f.arena.Alloc(v.wireLen)
+	var err error
+	switch v.IP.Protocol {
+	case packet.ProtoTCP:
+		buf, err = packet.AppendTCP(buf, &v.IP, &v.TCP, v.Payload)
+	case packet.ProtoICMP:
+		buf, err = packet.AppendICMP(buf, &v.IP, &v.ICMP)
+	default:
+		panic("netem: frame view with unsupported protocol")
+	}
+	if err != nil {
+		// Unreachable: the view builders validated the same conditions.
+		panic("netem: materialize: " + err.Error())
+	}
+	f.Data = buf
+	return f.Data
+}
 
 // A Node accepts frames. Network elements implement Node and forward frames
 // (possibly delayed, reordered, or dropped) to a downstream Node.

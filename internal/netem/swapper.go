@@ -94,7 +94,9 @@ func (s *Swapper) Input(f *Frame) {
 	}
 	if s.rng.Bool(s.probAt(s.loop.Now())) {
 		s.held = f
-		s.flushTimer = s.loop.ScheduleArg(s.flush, s.flushFn, f)
+		// RescheduleArg revives the stopped timer's heap entry from the
+		// previous hold in place instead of pushing a replacement.
+		s.flushTimer = s.loop.RescheduleArg(s.flushTimer, s.loop.Now().Add(s.flush), s.flushFn, f)
 		return
 	}
 	s.stats.Out++

@@ -1,0 +1,215 @@
+package netem
+
+import (
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+)
+
+// DebugForceMaterialize, when set, makes every view-built frame encode its
+// wire bytes eagerly and drop the view, forcing the whole simulation onto
+// the byte/decode path. It exists for differential testing — campaign
+// output must be byte-identical with views on and off — and must only be
+// toggled while no simulation is running.
+var DebugForceMaterialize = false
+
+// FrameView is the decoded form of a datagram, attached to a Frame at
+// transmission so pass-through network elements and the receiving stack
+// never pay an encode/decode round trip. Views are arena-owned: headers
+// are stored by value, TCP options and payload in arena (or view-inline)
+// storage, all valid until the owning arena resets.
+//
+// A view is always checksum-valid by construction — it only exists for
+// datagrams a sender built, never for bytes of unknown provenance — so the
+// IP, TCP and ICMP Checksum fields are left zero; nothing outside the
+// codec's own tests reads them. Every other field holds exactly what
+// decoding the materialized wire bytes would produce.
+type FrameView struct {
+	IP   packet.IPv4Header
+	TCP  packet.TCPHeader // valid when IP.Protocol == packet.ProtoTCP
+	ICMP packet.ICMPEcho  // valid when IP.Protocol == packet.ProtoICMP
+
+	// Payload is the transport payload (TCP data; for ICMP see
+	// ICMP.Payload), arena-owned.
+	Payload []byte
+
+	wireLen int
+	// opts and optData hold the deep-copied TCP options inline: at most
+	// four options (MSS, SACK-permitted, two NOPs plus a three-block SACK
+	// are the worst emitted set) and their data bytes.
+	opts    [4]packet.TCPOption
+	optData [40]byte
+}
+
+// WireLen returns the length the datagram has (or will have) on the wire.
+func (v *FrameView) WireLen() int { return v.wireLen }
+
+// Flow returns the datagram's flow key — what load balancers and host
+// demultiplexers would otherwise PeekFlow the wire bytes for. It is
+// assembled from the already-parsed headers; no bytes are touched.
+func (v *FrameView) Flow() packet.FlowKey {
+	k := packet.FlowKey{Src: v.IP.Src, Dst: v.IP.Dst, Proto: v.IP.Protocol}
+	switch v.IP.Protocol {
+	case packet.ProtoTCP:
+		k.SrcPort, k.DstPort = v.TCP.SrcPort, v.TCP.DstPort
+	case packet.ProtoICMP:
+		k.SrcPort = v.ICMP.Ident
+	}
+	return k
+}
+
+// ToPacket copies the view into a caller-owned decoded packet, reusing its
+// transport header structs and option storage exactly as packet.DecodeInto
+// does. Option data and payload alias the view's storage, which lives as
+// long as wire bytes would — until the owning arena resets.
+func (v *FrameView) ToPacket(p *packet.Packet) {
+	p.IP = v.IP
+	p.WireLen = v.wireLen
+	p.Payload = nil
+	switch v.IP.Protocol {
+	case packet.ProtoTCP:
+		p.UDP, p.ICMP = nil, nil
+		if p.TCP == nil {
+			p.TCP = new(packet.TCPHeader)
+		}
+		opts := p.TCP.Options[:0]
+		*p.TCP = v.TCP
+		p.TCP.Options = append(opts, v.TCP.Options...)
+		p.Payload = v.Payload
+	case packet.ProtoICMP:
+		p.TCP, p.UDP = nil, nil
+		if p.ICMP == nil {
+			p.ICMP = new(packet.ICMPEcho)
+		}
+		*p.ICMP = v.ICMP
+	default:
+		// No view builder produces other protocols; sever every transport
+		// pointer so a stale previous decode can never leak through.
+		p.TCP, p.UDP, p.ICMP = nil, nil, nil
+	}
+}
+
+// NewTCPFrame builds a frame carrying an IPv4+TCP datagram in decoded form:
+// the headers and payload are copied into arena-owned view storage and no
+// wire bytes are produced until something materializes them. Validation
+// matches packet.AppendTCP, and the header normalization (protocol, total
+// length, default TTL) matches what an encode/decode round trip would
+// yield, so consumers of the view see exactly what decoders would. Callers
+// may reuse ip, tcp and payload immediately.
+func (a *Arena) NewTCPFrame(id uint64, born sim.Time, ip *packet.IPv4Header, tcp *packet.TCPHeader, payload []byte) (*Frame, error) {
+	optLen, err := tcp.OptionsWireLen()
+	if err != nil {
+		return nil, err
+	}
+	total := ipv4WireLen + tcpWireLen + optLen + len(payload)
+	if err := checkIPHeader(ip, total); err != nil {
+		return nil, err
+	}
+	v := a.newView()
+	v.IP = *ip
+	v.IP.Protocol = packet.ProtoTCP
+	v.IP.TotalLen = uint16(total)
+	v.IP.Checksum = 0
+	if v.IP.TTL == 0 {
+		v.IP.TTL = 64
+	}
+	if !v.copyOptions(tcp.Options) {
+		// Exotic option sets that exceed the inline storage fall back to
+		// an eagerly encoded frame — correct, merely not zero-copy.
+		return a.encodedTCPFrame(id, born, ip, tcp, payload, total)
+	}
+	// Field-wise copy: a struct assignment would also write (and then
+	// rewrite) the Options pointer, paying a write barrier for nothing.
+	v.TCP.SrcPort, v.TCP.DstPort = tcp.SrcPort, tcp.DstPort
+	v.TCP.Seq, v.TCP.Ack = tcp.Seq, tcp.Ack
+	v.TCP.Flags, v.TCP.Window, v.TCP.Urgent = tcp.Flags, tcp.Window, tcp.Urgent
+	v.TCP.Checksum = 0
+	v.Payload = a.CopyBytes(payload)
+	v.wireLen = total
+	return a.viewFrame(id, born, v), nil
+}
+
+// NewICMPFrame is NewTCPFrame for an ICMP echo datagram.
+func (a *Arena) NewICMPFrame(id uint64, born sim.Time, ip *packet.IPv4Header, echo *packet.ICMPEcho) (*Frame, error) {
+	total := ipv4WireLen + icmpWireLen + len(echo.Payload)
+	if err := checkIPHeader(ip, total); err != nil {
+		return nil, err
+	}
+	v := a.newView()
+	v.IP = *ip
+	v.IP.Protocol = packet.ProtoICMP
+	v.IP.TotalLen = uint16(total)
+	v.IP.Checksum = 0
+	if v.IP.TTL == 0 {
+		v.IP.TTL = 64
+	}
+	v.ICMP = *echo
+	v.ICMP.Checksum = 0
+	v.ICMP.Payload = a.CopyBytes(echo.Payload)
+	v.Payload = nil
+	v.TCP = packet.TCPHeader{}
+	v.wireLen = total
+	return a.viewFrame(id, born, v), nil
+}
+
+// viewFrame wraps a completed view in a frame, honoring the differential
+// force-materialize debug mode.
+func (a *Arena) viewFrame(id uint64, born sim.Time, v *FrameView) *Frame {
+	f := a.NewFrame(id, nil, born)
+	f.view = v
+	if DebugForceMaterialize {
+		f.Materialize()
+		f.view = nil
+	}
+	return f
+}
+
+// encodedTCPFrame is the non-view fallback: encode eagerly into arena
+// bytes, exactly what senders did before views existed.
+func (a *Arena) encodedTCPFrame(id uint64, born sim.Time, ip *packet.IPv4Header, tcp *packet.TCPHeader, payload []byte, total int) (*Frame, error) {
+	buf, err := packet.AppendTCP(a.Alloc(total), ip, tcp, payload)
+	if err != nil {
+		return nil, err
+	}
+	return a.NewFrame(id, buf, born), nil
+}
+
+// copyOptions deep-copies the option list into the view's inline storage,
+// reporting false when it does not fit.
+func (v *FrameView) copyOptions(opts []packet.TCPOption) bool {
+	if len(opts) > len(v.opts) {
+		return false
+	}
+	od := v.optData[:0]
+	for i, o := range opts {
+		v.opts[i] = packet.TCPOption{Kind: o.Kind}
+		if n := len(o.Data); n > 0 {
+			if len(od)+n > cap(od) {
+				return false
+			}
+			start := len(od)
+			od = append(od, o.Data...)
+			v.opts[i].Data = od[start:len(od):len(od)]
+		}
+	}
+	v.TCP.Options = v.opts[:len(opts)]
+	return true
+}
+
+// checkIPHeader applies the validation packet.AppendTCP/AppendICMP would.
+func checkIPHeader(ip *packet.IPv4Header, total int) error {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return packet.ErrBadHeader
+	}
+	if total > 0xffff {
+		return packet.ErrBadHeader
+	}
+	return nil
+}
+
+// Wire sizes mirrored from the packet codec (IPv4 and TCP base headers,
+// ICMP echo header).
+const (
+	ipv4WireLen = 20
+	tcpWireLen  = 20
+	icmpWireLen = 8
+)

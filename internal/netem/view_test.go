@@ -1,0 +1,212 @@
+package netem
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"reorder/internal/packet"
+	"reorder/internal/sim"
+)
+
+var (
+	viewSrc = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	viewDst = netip.AddrFrom4([4]byte{10, 0, 1, 1})
+)
+
+func tcpFrameArgs() (*packet.IPv4Header, *packet.TCPHeader, []byte) {
+	ip := &packet.IPv4Header{Src: viewSrc, Dst: viewDst, ID: 777, TOS: 0x10, Flags: packet.FlagDF}
+	tcp := &packet.TCPHeader{
+		SrcPort: 40001, DstPort: 80, Seq: 1000, Ack: 2000,
+		Flags: packet.FlagACK | packet.FlagPSH, Window: 4096,
+		Options: []packet.TCPOption{
+			packet.MSSOption(1460),
+			packet.SACKPermittedOption(),
+		},
+	}
+	return ip, tcp, []byte("hello wire")
+}
+
+// TestMaterializeMatchesAppendTCP pins the core view invariant: the bytes
+// Materialize produces are exactly what the sender would have encoded
+// eagerly, and the view's normalized headers are exactly what decoding
+// those bytes yields (checksum fields excepted — views leave them zero).
+func TestMaterializeMatchesAppendTCP(t *testing.T) {
+	ip, tcp, payload := tcpFrameArgs()
+	want, err := packet.AppendTCP(nil, ip, tcp, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a *Arena // nil arena: heap fallback works identically
+	f, err := a.NewTCPFrame(9, 0, ip, tcp, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != len(want) {
+		t.Fatalf("view frame Len = %d before materializing, want wire length %d", f.Len(), len(want))
+	}
+	if got := f.Materialize(); !bytes.Equal(got, want) {
+		t.Fatalf("materialized bytes differ from eager encode:\n got %x\nwant %x", got, want)
+	}
+
+	dec, err := packet.Decode(f.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.View()
+	if v.IP.TotalLen != dec.IP.TotalLen || v.IP.TTL != dec.IP.TTL || v.IP.Protocol != dec.IP.Protocol {
+		t.Fatalf("view IP normalization %+v differs from decoded %+v", v.IP, dec.IP)
+	}
+	if v.TCP.Seq != dec.TCP.Seq || v.TCP.Flags != dec.TCP.Flags || len(v.TCP.Options) != len(dec.TCP.Options) {
+		t.Fatalf("view TCP %+v differs from decoded %+v", v.TCP, dec.TCP)
+	}
+	if mv, _ := v.TCP.MSS(); mv != 1460 || !v.TCP.SACKPermitted() {
+		t.Fatal("view options lost in the deep copy")
+	}
+	if !bytes.Equal(v.Payload, dec.Payload) {
+		t.Fatal("view payload differs from decoded payload")
+	}
+	wantFlow := dec.Flow()
+	if v.Flow() != wantFlow {
+		t.Fatalf("view flow key %v, want %v", v.Flow(), wantFlow)
+	}
+}
+
+// TestViewToPacketMatchesDecode checks the receiver-side shortcut: copying
+// a view into a scratch packet must agree field-for-field with DecodeInto
+// over the materialized bytes.
+func TestViewToPacketMatchesDecode(t *testing.T) {
+	ip, tcp, payload := tcpFrameArgs()
+	a := &Arena{}
+	f, err := a.NewTCPFrame(3, 0, ip, tcp, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromView, fromWire packet.Packet
+	f.View().ToPacket(&fromView)
+	if err := packet.DecodeInto(&fromWire, f.Materialize()); err != nil {
+		t.Fatal(err)
+	}
+	fromWire.TCP.Checksum = 0 // views do not carry checksums
+	fromWire.IP.Checksum = 0
+	if fromView.IP != fromWire.IP {
+		t.Fatalf("IP headers differ:\nview %+v\nwire %+v", fromView.IP, fromWire.IP)
+	}
+	if fromView.TCP.Seq != fromWire.TCP.Seq || fromView.TCP.Window != fromWire.TCP.Window ||
+		len(fromView.TCP.Options) != len(fromWire.TCP.Options) {
+		t.Fatalf("TCP headers differ:\nview %+v\nwire %+v", fromView.TCP, fromWire.TCP)
+	}
+	if !bytes.Equal(fromView.Payload, fromWire.Payload) {
+		t.Fatal("payloads differ")
+	}
+	if fromView.WireLen != fromWire.WireLen {
+		t.Fatalf("WireLen %d vs %d", fromView.WireLen, fromWire.WireLen)
+	}
+}
+
+// TestPassThroughForwardZeroAlloc pins the decode-once promise at the
+// element level: once the arena and heap are warm, pushing a view-built
+// frame through the full pass-through chain — link, jitterless delay,
+// loss, swapper, priority, load balancer — and delivering it to a sink
+// allocates nothing and never materializes wire bytes.
+func TestPassThroughForwardZeroAlloc(t *testing.T) {
+	loop := sim.NewLoop()
+	arena := &Arena{}
+	var delivered *Frame
+	sink := NodeFunc(func(f *Frame) { delivered = f })
+
+	lb := NewLoadBalancer(HashFourTuple, sink)
+	pq := NewPriorityQueue(loop, PriorityConfig{}, lb)
+	sw := NewSwapper(loop, 0.3, sim.NewRand(5, 6), pq)
+	lo := NewLoss(0.1, sim.NewRand(7, 8), sw)
+	de := NewDelay(loop, time.Microsecond, 0, sim.NewRand(9, 10), lo)
+	li := NewLink(loop, LinkConfig{RateBps: 100_000_000, PropDelay: time.Millisecond}, de)
+
+	ip, tcp, payload := tcpFrameArgs()
+	var ids FrameIDs
+	push := func() {
+		for i := 0; i < 16; i++ {
+			f, err := arena.NewTCPFrame(ids.Next(), loop.Now(), ip, tcp, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			li.Input(f)
+		}
+		loop.RunFor(50 * time.Millisecond)
+	}
+	push() // warm arena slabs, loop heap, element state
+	arena.Reset()
+	loop.Reset()
+	if allocs := testing.AllocsPerRun(50, func() {
+		push()
+		arena.Reset()
+		loop.Reset()
+	}); allocs > 0 {
+		t.Fatalf("pass-through forward path allocates %.1f objects per batch, want 0", allocs)
+	}
+	if delivered == nil {
+		t.Fatal("no frame reached the sink")
+	}
+	if delivered.Data != nil {
+		t.Fatal("pass-through chain materialized wire bytes")
+	}
+	if delivered.View() == nil {
+		t.Fatal("delivered frame lost its view")
+	}
+}
+
+// TestCorrupterMaterializesCopy checks the byte-mutating element's
+// contract: the original frame's bytes (shared with captures) stay intact,
+// the forwarded copy differs in exactly one bit, and pass-through frames
+// are forwarded unmodified without materializing.
+func TestCorrupterMaterializesCopy(t *testing.T) {
+	arena := &Arena{}
+	var out []*Frame
+	c := NewCorrupter(1.0, sim.NewRand(1, 2), arena, NodeFunc(func(f *Frame) { out = append(out, f) }))
+
+	ip, tcp, payload := tcpFrameArgs()
+	f, err := arena.NewTCPFrame(1, 0, ip, tcp, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := packet.AppendTCP(nil, ip, tcp, payload)
+	c.Input(f)
+	if len(out) != 1 {
+		t.Fatalf("corrupter forwarded %d frames, want 1", len(out))
+	}
+	if !bytes.Equal(f.Data, want) {
+		t.Fatal("corrupter mutated the original frame's bytes")
+	}
+	diff := 0
+	for i := range want {
+		diff += popcount8(out[0].Data[i] ^ want[i])
+	}
+	if diff != 1 {
+		t.Fatalf("corrupted copy differs in %d bits, want exactly 1", diff)
+	}
+	if out[0].ID != f.ID || out[0].View() != nil {
+		t.Fatal("corrupted copy must keep the frame ID and carry no view")
+	}
+
+	// Pass-through (probability 0): same frame, still unmaterialized.
+	out = nil
+	c.Reinit(0, sim.NewRand(3, 4), arena, NodeFunc(func(f *Frame) { out = append(out, f) }))
+	g, err := arena.NewTCPFrame(2, 0, ip, tcp, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Input(g)
+	if len(out) != 1 || out[0] != g || g.Data != nil {
+		t.Fatal("pass-through corrupter must forward the identical frame without materializing")
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

@@ -146,6 +146,11 @@ func (h *TCPHeader) SACKBlocks() []SACKBlock {
 	return nil
 }
 
+// OptionsWireLen returns the encoded length of the header's options as
+// optionsWireLen computes it — the piece of wire-length arithmetic frame
+// views need to size a datagram without encoding it.
+func (h *TCPHeader) OptionsWireLen() (int, error) { return h.optionsWireLen() }
+
 // optionsWireLen returns the encoded length of the options, padded to a
 // multiple of 4.
 func (h *TCPHeader) optionsWireLen() (int, error) {

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestRescheduleMatchesStopPlusSchedule is the ordering-identity contract:
+// a randomized mix of schedules, cancels and retargets must execute in
+// exactly the same order whether retargeting uses Reschedule or the classic
+// Stop-then-At pair. The two loops are driven side by side with identical
+// decisions and their execution logs compared.
+func TestRescheduleMatchesStopPlusSchedule(t *testing.T) {
+	type action struct {
+		kind   int // 0 = schedule, 1 = stop, 2 = retarget
+		at     Time
+		victim int
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	var actions []action
+	for i := 0; i < 3000; i++ {
+		a := action{
+			kind: rng.IntN(3),
+			at:   Time(rng.Int64N(100)) * Time(time.Millisecond),
+		}
+		a.victim = rng.IntN(i + 1)
+		actions = append(actions, a)
+	}
+
+	run := func(useReschedule bool) []int {
+		l := NewLoop()
+		var got []int
+		var timers []Timer
+		fns := make([]func(), len(actions))
+		for i, a := range actions {
+			i := i
+			fns[i] = func() { got = append(got, i) }
+			switch a.kind {
+			case 0:
+				timers = append(timers, l.At(a.at, fns[i]))
+			case 1:
+				timers = append(timers, Timer{})
+				if a.victim < len(timers) {
+					timers[a.victim].Stop()
+				}
+			default:
+				timers = append(timers, Timer{})
+				if useReschedule {
+					timers[a.victim] = l.Reschedule(timers[a.victim], a.at, fns[i])
+				} else {
+					timers[a.victim].Stop()
+					timers[a.victim] = l.At(a.at, fns[i])
+				}
+			}
+		}
+		l.RunUntilIdle(0)
+		return got
+	}
+
+	want := run(false)
+	got := run(true)
+	if len(got) != len(want) {
+		t.Fatalf("Reschedule run executed %d events, Stop+At run %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution diverges at position %d: Reschedule ran %d, Stop+At ran %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRescheduleRevivesStoppedTimer checks the revive-in-place path: a
+// stopped timer whose heap entry has not drained is retargeted without
+// growing the heap, and the old handle stays inert.
+func TestRescheduleRevivesStoppedTimer(t *testing.T) {
+	l := NewLoop()
+	fired := 0
+	old := l.Schedule(time.Second, func() { t.Fatal("stopped event fired") })
+	old.Stop()
+	if l.Len() != 0 {
+		t.Fatalf("Len after stop = %d, want 0 (dead entries are not pending work)", l.Len())
+	}
+	tm := l.Reschedule(old, l.Now().Add(time.Millisecond), func() { fired++ })
+	if len(l.events) != 1 {
+		t.Fatalf("revival grew the heap to %d entries, want 1", len(l.events))
+	}
+	if old.Stop() || old.Pending() {
+		t.Fatal("pre-reschedule handle can still reach the revived event")
+	}
+	if !tm.Pending() {
+		t.Fatal("revived timer not pending")
+	}
+	l.RunUntilIdle(0)
+	if fired != 1 {
+		t.Fatalf("revived event fired %d times, want 1", fired)
+	}
+}
+
+// TestLenCountsLiveEvents is the regression test for Loop.Len reporting
+// live events only: stopped-but-undrained timers used to be counted, which
+// skewed idle detection and pending-event assertions.
+func TestLenCountsLiveEvents(t *testing.T) {
+	l := NewLoop()
+	var timers []Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, l.Schedule(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", l.Len())
+	}
+	for i := 0; i < 4; i++ {
+		timers[i].Stop()
+	}
+	if l.Len() != 6 {
+		t.Fatalf("Len after 4 stops = %d, want 6 (dead heap entries must not count)", l.Len())
+	}
+	// Run past the first two (stopped) entries: draining dead entries must
+	// not change the live count, and no live event fires before 5ms.
+	l.RunFor(2500 * time.Microsecond)
+	if l.Len() != 6 {
+		t.Fatalf("Len after draining dead head = %d, want 6", l.Len())
+	}
+	l.RunUntilIdle(0)
+	if l.Len() != 0 {
+		t.Fatalf("Len after idle = %d, want 0", l.Len())
+	}
+}
+
+// TestDeadEventCompaction forces the cancel-heavy regime: with far more
+// stopped than live events the heap must compact (shrinking the backing
+// entries) and still execute the survivors in exact schedule order.
+func TestDeadEventCompaction(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	var timers []Timer
+	const n = 1000
+	for i := 0; i < n; i++ {
+		i := i
+		timers = append(timers, l.At(Time(i)*Time(time.Millisecond), func() { got = append(got, i) }))
+	}
+	// Stop every index not divisible by 10, scattered across the heap.
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			timers[i].Stop()
+		}
+	}
+	if l.Len() != n/10 {
+		t.Fatalf("Len = %d, want %d", l.Len(), n/10)
+	}
+	if len(l.events) >= n {
+		t.Fatalf("compaction never ran: %d heap entries for %d live events", len(l.events), l.Len())
+	}
+	l.RunUntilIdle(0)
+	if len(got) != n/10 {
+		t.Fatalf("ran %d events, want %d", len(got), n/10)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("post-compaction execution out of order: %v", got[:i+1])
+		}
+	}
+	// Survivors' timers were compacted to new heap positions; their handles
+	// must have been invalidated (gen bumped) only for the dead, not the
+	// live ones.
+	for i := 0; i < n; i += 10 {
+		if timers[i].Pending() {
+			t.Fatalf("timer %d still pending after idle", i)
+		}
+	}
+}
+
+// TestRescheduleSteadyStateAllocs pins the retarget fast path at zero
+// allocations once capacity is warm — the pop-then-push pattern every
+// cumulative ACK pays must not touch the heap allocator.
+func TestRescheduleSteadyStateAllocs(t *testing.T) {
+	l := NewLoop()
+	noop := func(any) {}
+	var tm Timer
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			tm = l.RescheduleArg(tm, l.Now().Add(time.Duration(i%5)*time.Microsecond), noop, nil)
+		}
+		l.RunUntilIdle(0)
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(100, cycle); allocs > 0 {
+		t.Fatalf("steady-state reschedule allocates %.1f objects per cycle, want 0", allocs)
+	}
+}

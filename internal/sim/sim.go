@@ -61,6 +61,8 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	t.l.dead++
+	t.l.maybeCompact()
 	return true
 }
 
@@ -107,6 +109,7 @@ type Loop struct {
 	events []event // inline 4-ary min-heap ordered by (at, seq)
 	seq    uint64
 	ran    uint64
+	dead   int // cancelled events still occupying heap entries
 
 	slots    []slotState
 	freeSlot []int32
@@ -132,15 +135,17 @@ func (l *Loop) Reset() {
 		l.slots[i].heapIdx = -1
 		l.freeSlot = append(l.freeSlot, int32(i))
 	}
-	l.now, l.seq, l.ran = 0, 0, 0
+	l.now, l.seq, l.ran, l.dead = 0, 0, 0, 0
 }
 
 // Now returns the current virtual time.
 func (l *Loop) Now() Time { return l.now }
 
-// Len returns the number of pending events (including stopped timers that
-// have not yet been drained).
-func (l *Loop) Len() int { return len(l.events) }
+// Len returns the number of live pending events. Stopped timers whose heap
+// entries have not yet been drained are not counted: Len answers "how much
+// work is still scheduled", which is what idle detection and pending-event
+// assertions mean by it.
+func (l *Loop) Len() int { return len(l.events) - l.dead }
 
 // Processed returns the total number of callbacks executed so far.
 func (l *Loop) Processed() uint64 { return l.ran }
@@ -182,6 +187,91 @@ func (l *Loop) AtArg(t Time, fn func(any), arg any) Timer {
 		panic("sim: AtArg called with nil callback")
 	}
 	return l.push(t, nil, fn, arg)
+}
+
+// Reschedule moves a timer to fire fn at absolute time t instead, re-sifting
+// the existing heap entry in place — one sift instead of the lazy cancel, the
+// dead-entry drain and the fresh push that Stop+At cost. If tm no longer has
+// a heap entry (it fired, drained, or belongs to a previous Reset), fn is
+// simply scheduled fresh. The returned Timer replaces tm; older copies of tm
+// are invalidated exactly as Stop+At would leave them, and the rescheduled
+// event takes a fresh sequence number, so execution order is identical to
+// tm.Stop() followed by At(t, fn).
+func (l *Loop) Reschedule(tm Timer, t Time, fn func()) Timer {
+	if fn == nil {
+		panic("sim: Reschedule called with nil callback")
+	}
+	return l.reschedule(tm, t, fn, nil, nil)
+}
+
+// RescheduleArg is Reschedule for the allocation-free callback form of
+// AtArg.
+func (l *Loop) RescheduleArg(tm Timer, t Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: RescheduleArg called with nil callback")
+	}
+	return l.reschedule(tm, t, nil, fn, arg)
+}
+
+// reschedule retargets tm's heap entry when one still exists (live or
+// stopped-but-undrained), falling back to a plain push.
+func (l *Loop) reschedule(tm Timer, t Time, fn func(), afn func(any), arg any) Timer {
+	if tm.l != l {
+		return l.push(t, fn, afn, arg)
+	}
+	s := &l.slots[tm.slot]
+	if s.gen != tm.gen || s.heapIdx < 0 {
+		return l.push(t, fn, afn, arg)
+	}
+	if t < l.now {
+		t = l.now
+	}
+	ev := &l.events[s.heapIdx]
+	if ev.fn == nil && ev.afn == nil {
+		l.dead-- // reviving a stopped entry in place
+	}
+	s.gen++ // invalidate stale handles, as Stop+At would
+	ev.at, ev.seq = t, l.seq
+	l.seq++
+	ev.fn, ev.afn, ev.arg = fn, afn, arg
+	l.siftDown(s.heapIdx)
+	l.siftUp(s.heapIdx)
+	return Timer{l: l, slot: tm.slot, gen: s.gen}
+}
+
+// maybeCompact rebuilds the heap without its cancelled entries once they
+// outnumber the live ones, so long-running simulations that stop many timers
+// (delayed-ACK races, retransmission cancels) stop paying sift comparisons
+// for dead weight. Rebuilding never changes execution order: pop order is a
+// pure function of the (at, seq) keys, which compaction preserves.
+func (l *Loop) maybeCompact() {
+	if l.dead < 64 || l.dead*2 < len(l.events) {
+		return
+	}
+	kept := l.events[:0]
+	for i := range l.events {
+		ev := &l.events[i]
+		if ev.fn == nil && ev.afn == nil {
+			s := &l.slots[ev.slot]
+			s.heapIdx = -1
+			s.gen++
+			l.freeSlot = append(l.freeSlot, ev.slot)
+			continue
+		}
+		kept = append(kept, *ev)
+	}
+	tail := l.events[len(kept):]
+	for i := range tail {
+		tail[i] = event{} // release fn/arg references
+	}
+	l.events = kept
+	l.dead = 0
+	for i := range kept {
+		l.slots[kept[i].slot].heapIdx = int32(i)
+	}
+	for i := int32(len(kept)-2) / heapArity; i >= 0; i-- {
+		l.siftDown(i)
+	}
 }
 
 // push allocates a slot and sifts the new event into the heap.
@@ -260,24 +350,30 @@ func (l *Loop) siftDown(i int32) {
 	}
 }
 
-// popMin removes and returns the earliest event, releasing its slot.
-func (l *Loop) popMin() event {
-	ev := l.events[0]
+// popMin removes the earliest event without copying it out; callers that
+// need its fields read them off the root first. Releases the event's slot.
+func (l *Loop) popMin() {
+	root := &l.events[0]
+	if root.fn == nil && root.afn == nil {
+		l.dead-- // draining a cancelled entry
+	}
+	slot := root.slot
 	n := int32(len(l.events)) - 1
 	if n > 0 {
 		l.events[0] = l.events[n]
 		l.slots[l.events[0].slot].heapIdx = 0
 	}
-	l.events[n] = event{} // release fn/arg references
+	// Release only the reference-holding fields of the vacated entry; the
+	// stale scalars are overwritten by the next push into this index.
+	l.events[n].fn, l.events[n].afn, l.events[n].arg = nil, nil, nil
 	l.events = l.events[:n]
 	if n > 0 {
 		l.siftDown(0)
 	}
-	s := &l.slots[ev.slot]
+	s := &l.slots[slot]
 	s.heapIdx = -1
 	s.gen++
-	l.freeSlot = append(l.freeSlot, ev.slot)
-	return ev
+	l.freeSlot = append(l.freeSlot, slot)
 }
 
 // Step executes the earliest pending event, advancing the clock to its
@@ -285,18 +381,39 @@ func (l *Loop) popMin() event {
 // skipped without being counted.
 func (l *Loop) Step() bool {
 	for len(l.events) > 0 {
-		ev := l.popMin()
-		if ev.fn == nil && ev.afn == nil {
+		root := &l.events[0]
+		at, fn, afn, arg := root.at, root.fn, root.afn, root.arg
+		l.popMin()
+		if fn == nil && afn == nil {
 			continue // cancelled
 		}
-		l.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
+		l.now = at
+		if fn != nil {
+			fn()
 		} else {
-			ev.afn(ev.arg)
+			afn(arg)
 		}
 		l.ran++
 		return true
+	}
+	return false
+}
+
+// StepBefore executes the earliest pending event if it is due at or before
+// t, reporting whether one ran. It is the fused peek+Step synchronous
+// drivers pump the loop with — one heap-root inspection per event instead
+// of two.
+func (l *Loop) StepBefore(t Time) bool {
+	for len(l.events) > 0 {
+		ev := &l.events[0]
+		if ev.fn == nil && ev.afn == nil {
+			l.popMin() // drain cancelled entries at the root
+			continue
+		}
+		if ev.at > t {
+			return false
+		}
+		return l.Step()
 	}
 	return false
 }
@@ -305,12 +422,7 @@ func (l *Loop) Step() bool {
 // the clock to exactly t. Events scheduled during execution are honored if
 // they fall within the horizon.
 func (l *Loop) RunUntil(t Time) {
-	for {
-		at, ok := l.peek()
-		if !ok || at > t {
-			break
-		}
-		l.Step()
+	for l.StepBefore(t) {
 	}
 	if l.now < t {
 		l.now = t

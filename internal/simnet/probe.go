@@ -35,13 +35,15 @@ func (p *Probe) reset() {
 
 // deliver is the reverse path's terminal node. Fragmented datagrams are
 // reassembled here, the probe host's IP layer; the reassembler is built
-// lazily so fragment-free scenarios never pay for it.
+// lazily so fragment-free scenarios never pay for it, and frames carrying a
+// decoded view skip it outright (a view frame is never a fragment, and a
+// whole datagram is a reassembler no-op).
 func (p *Probe) deliver(f *netem.Frame) {
 	if p.net.endpoint != nil {
 		p.net.endpoint.Input(f)
 		return
 	}
-	if p.reasm != nil || packet.IsFragment(f.Data) {
+	if f.View() == nil && (p.reasm != nil || packet.IsFragment(f.Data)) {
 		if p.reasm == nil {
 			p.reasm = packet.NewReassembler()
 		}
@@ -69,22 +71,47 @@ func (p *Probe) Send(data []byte) uint64 {
 	return id
 }
 
+// SendView injects one IPv4+TCP datagram given in decoded form — the
+// zero-copy counterpart of Send implementing core.FrameTransport. The
+// headers and payload are copied into an arena-owned frame view; wire
+// bytes are encoded only if an element on the path needs them. ip, tcp and
+// payload may be reused immediately.
+func (p *Probe) SendView(ip *packet.IPv4Header, tcp *packet.TCPHeader, payload []byte) uint64 {
+	id := p.net.IDs.Next()
+	f, err := p.net.arena.NewTCPFrame(id, p.net.Loop.Now(), ip, tcp, payload)
+	if err != nil {
+		panic("simnet: encode: " + err.Error())
+	}
+	p.egress.Input(f)
+	return id
+}
+
 // Recv returns the next packet addressed to the probe along with its frame
 // ID, driving the simulation forward up to timeout of virtual time. It
-// reports ok=false on timeout.
+// reports ok=false on timeout. Byte-oriented callers pay materialization
+// for view-built frames; the measurement engine uses RecvFrame instead.
 func (p *Probe) Recv(timeout time.Duration) ([]byte, uint64, bool) {
+	f, ok := p.RecvFrame(timeout)
+	if !ok {
+		return nil, 0, false
+	}
+	return f.Materialize(), f.ID, true
+}
+
+// RecvFrame is Recv returning the frame itself, whose decoded view — when
+// present — spares the receiver the decode round trip entirely
+// (core.FrameTransport).
+func (p *Probe) RecvFrame(timeout time.Duration) (*netem.Frame, bool) {
 	loop := p.net.Loop
 	deadline := loop.Now().Add(timeout)
 	for p.inboxHead == len(p.inbox) {
-		at, ok := loop.NextEventAt()
-		if !ok || at > deadline {
+		if !loop.StepBefore(deadline) {
 			loop.RunUntil(deadline)
 			break
 		}
-		loop.Step()
 	}
 	if p.inboxHead == len(p.inbox) {
-		return nil, 0, false
+		return nil, false
 	}
 	f := p.inbox[p.inboxHead]
 	p.inbox[p.inboxHead] = nil
@@ -93,7 +120,7 @@ func (p *Probe) Recv(timeout time.Duration) ([]byte, uint64, bool) {
 		p.inbox = p.inbox[:0]
 		p.inboxHead = 0
 	}
-	return f.Data, f.ID, true
+	return f, true
 }
 
 // Sleep advances virtual time by d, processing any network activity due in

@@ -26,6 +26,11 @@ type PathSpec struct {
 	Jitter time.Duration
 	// Loss is the independent drop probability.
 	Loss float64
+	// Corrupt is the probability a datagram has one bit flipped in flight;
+	// receivers drop damaged datagrams at checksum validation, so corruption
+	// reads as loss. Corruption mutates wire bytes, which is what forces a
+	// zero-copy frame view to materialize mid-path.
+	Corrupt float64
 	// SwapProb enables a dummynet-style adjacent-packet swapper.
 	SwapProb float64
 	// SwapProbFn, if set, overrides SwapProb with a time-varying rate.
@@ -137,6 +142,7 @@ type topoPool struct {
 	freeDelays, usedDelays           []elemRng[*netem.Delay]
 	freeLosses, usedLosses           []elemRng[*netem.Loss]
 	freeSwappers, usedSwappers       []elemRng[*netem.Swapper]
+	freeCorrupters, usedCorrupters   []elemRng[*netem.Corrupter]
 	freeTrunks, usedTrunks           []elemRng[*netem.StripedTrunk]
 	freeMultiPaths, usedMultiPaths   []elemRng[*netem.MultiPath]
 	freeARQs, usedARQs               []elemRng[*netem.ARQLink]
@@ -172,6 +178,8 @@ func (p *topoPool) recycle() {
 	p.usedLosses = p.usedLosses[:0]
 	p.freeSwappers = append(p.freeSwappers, p.usedSwappers...)
 	p.usedSwappers = p.usedSwappers[:0]
+	p.freeCorrupters = append(p.freeCorrupters, p.usedCorrupters...)
+	p.usedCorrupters = p.usedCorrupters[:0]
 	p.freeTrunks = append(p.freeTrunks, p.usedTrunks...)
 	p.usedTrunks = p.usedTrunks[:0]
 	p.freeMultiPaths = append(p.freeMultiPaths, p.usedMultiPaths...)
@@ -365,6 +373,9 @@ func (n *Net) buildPath(rng *sim.Rand, spec PathSpec, dst netem.Node) netem.Node
 	} else if spec.SwapProb > 0 {
 		node = n.getSwapper(nil, spec.SwapProb, rng, 3, node)
 	}
+	if spec.Corrupt > 0 {
+		node = n.getCorrupter(spec.Corrupt, rng, 7, node)
+	}
 	if spec.Loss > 0 {
 		node = n.getLoss(spec.Loss, rng, 2, node)
 	}
@@ -443,6 +454,21 @@ func (n *Net) getSwapper(probFn func(sim.Time) float64, prob float64, rng *sim.R
 	}
 	n.pool.usedSwappers = append(n.pool.usedSwappers, elemRng[*netem.Swapper]{el: s, rng: child})
 	return s
+}
+
+func (n *Net) getCorrupter(prob float64, rng *sim.Rand, label uint64, next netem.Node) *netem.Corrupter {
+	if k := len(n.pool.freeCorrupters); k > 0 {
+		p := n.pool.freeCorrupters[k-1]
+		n.pool.freeCorrupters = n.pool.freeCorrupters[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(prob, p.rng, n.arena, next)
+		n.pool.usedCorrupters = append(n.pool.usedCorrupters, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	c := netem.NewCorrupter(prob, child, n.arena, next)
+	n.pool.usedCorrupters = append(n.pool.usedCorrupters, elemRng[*netem.Corrupter]{el: c, rng: child})
+	return c
 }
 
 func (n *Net) getTrunk(cfg netem.TrunkConfig, rng *sim.Rand, label uint64, next netem.Node) *netem.StripedTrunk {

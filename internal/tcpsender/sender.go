@@ -141,11 +141,13 @@ type Sender struct {
 	rtoTimer   sim.Timer
 	rtoBackoff time.Duration
 
-	// Per-connection scratch: encode buffer, payload buffer and optional
-	// arena, so steady-state transmission does not allocate per segment.
+	// Per-connection scratch: decoded-packet cell, payload buffer, cached
+	// RTO callback and optional arena, so steady-state transmission and
+	// receive do not allocate per segment.
 	arena      *netem.Arena
-	encBuf     []byte
+	rxPkt      packet.Packet
 	payloadBuf []byte
+	rtoFn      func()
 
 	// Spurious-retransmit detection state.
 	minRTT       time.Duration
@@ -163,13 +165,15 @@ type Sender struct {
 // New builds a sender from local to remote:port, transmitting via out.
 func New(loop *sim.Loop, cfg Config, local, remote netip.Addr, ids *netem.FrameIDs, rng *sim.Rand, out netem.Node) *Sender {
 	cfg = cfg.Defaults()
-	return &Sender{
+	s := &Sender{
 		cfg: cfg, loop: loop, local: local, remote: remote,
 		lport: 41000, out: out, ids: ids, rng: rng,
 		dupThresh: cfg.DupThresh,
 		minRTT:    time.Hour, // until measured
 		sendTimes: make(map[uint32]sim.Time),
 	}
+	s.rtoFn = s.onRTO
+	return s
 }
 
 // OnDone registers a completion callback.
@@ -223,10 +227,20 @@ func (s *Sender) Start() {
 	s.armRTO()
 }
 
-// Input implements netem.Node: packets from the network.
+// Input implements netem.Node: packets from the network. Frames carrying a
+// decoded view are consumed without a decode; byte-form frames fall back to
+// a scratch DecodeInto (no per-frame allocation either way).
 func (s *Sender) Input(f *netem.Frame) {
-	p, err := packet.Decode(f.Data)
-	if err != nil || p.TCP == nil || p.IP.Dst != s.local || p.IP.Src != s.remote {
+	p := &s.rxPkt
+	if v := f.View(); v != nil {
+		if v.IP.Protocol != packet.ProtoTCP {
+			return
+		}
+		v.ToPacket(p)
+	} else if err := packet.DecodeInto(p, f.Data); err != nil || p.TCP == nil {
+		return
+	}
+	if p.IP.Dst != s.local || p.IP.Src != s.remote {
 		return
 	}
 	h := p.TCP
@@ -445,12 +459,11 @@ func (s *Sender) transmit(flags uint8, seq, ack uint32, payload []byte, opts []p
 		Seq: seq, Ack: ack, Flags: flags, Window: 65535, Options: opts,
 	}
 	ip := &packet.IPv4Header{Src: s.local, Dst: s.remote, ID: s.rng.Uint16(), Flags: packet.FlagDF}
-	buf, err := packet.AppendTCP(s.encBuf[:0], ip, hdr, payload)
+	f, err := s.arena.NewTCPFrame(s.ids.Next(), s.loop.Now(), ip, hdr, payload)
 	if err != nil {
 		panic("tcpsender: encode: " + err.Error())
 	}
-	s.encBuf = buf[:0]
-	s.out.Input(s.arena.NewFrame(s.ids.Next(), s.arena.CopyBytes(buf), s.loop.Now()))
+	s.out.Input(f)
 }
 
 func (s *Sender) observeRTT(rtt time.Duration) {
@@ -459,9 +472,11 @@ func (s *Sender) observeRTT(rtt time.Duration) {
 	}
 }
 
+// armRTO (re)starts the retransmission timer. Reschedule re-sifts the
+// pending event in place — the pop-then-push pattern every cumulative ACK
+// hits — instead of lazily cancelling and pushing a replacement.
 func (s *Sender) armRTO() {
-	s.stopRTO()
-	s.rtoTimer = s.loop.Schedule(s.rtoBackoff, s.onRTO)
+	s.rtoTimer = s.loop.Reschedule(s.rtoTimer, s.loop.Now().Add(s.rtoBackoff), s.rtoFn)
 }
 
 func (s *Sender) stopRTO() {

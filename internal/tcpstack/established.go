@@ -90,14 +90,17 @@ func (s *Stack) processData(c *conn, p *packet.Packet) {
 			s.sendAck(c, true)
 			return
 		}
-		// Plain in-order data: delayed ACK algorithm.
+		// Plain in-order data: delayed ACK algorithm. RescheduleArg revives
+		// the timer's heap entry in place when an earlier sendAck merely
+		// stopped it — one sift instead of a dead entry plus a fresh push.
 		c.delackCount++
 		if c.delackCount >= s.cfg.DelAckThreshold {
 			s.sendAck(c, false)
 			return
 		}
 		if !c.delackTimer.Pending() {
-			c.delackTimer = s.loop.ScheduleArg(s.cfg.DelAckTimeout, s.delackFn, c)
+			c.delackTimer = s.loop.RescheduleArg(c.delackTimer,
+				s.loop.Now().Add(s.cfg.DelAckTimeout), s.delackFn, c)
 		}
 	}
 }
@@ -266,7 +269,7 @@ func (s *Stack) pump(c *conn) {
 		c.sndNxt += n
 	}
 	if !c.rtxTimer.Pending() {
-		c.rtxTimer = s.loop.ScheduleArg(s.cfg.RTO, s.rtxFn, c)
+		c.rtxTimer = s.loop.RescheduleArg(c.rtxTimer, s.loop.Now().Add(s.cfg.RTO), s.rtxFn, c)
 	}
 }
 
@@ -285,7 +288,7 @@ func (s *Stack) retransmit(c *conn) {
 	}
 	s.stats.Retransmits++
 	s.sendData(c, c.sndUna, n)
-	c.rtxTimer = s.loop.ScheduleArg(s.cfg.RTO, s.rtxFn, c)
+	c.rtxTimer = s.loop.RescheduleArg(c.rtxTimer, s.loop.Now().Add(s.cfg.RTO), s.rtxFn, c)
 }
 
 // sendData transmits object bytes [seq, seq+n). Payload content is a
@@ -308,9 +311,9 @@ func (s *Stack) sendData(c *conn, seq, n uint32) {
 	s.transmit(c.peer, hdr, payload)
 }
 
-// transmit encodes and emits one datagram, stamping the IPID. The header
-// and payload are copied onto the wire; the wire bytes and frame come from
-// the stack's arena when one is set.
+// transmit emits one datagram, stamping the IPID. The header and payload
+// are copied into an arena-owned frame view; wire bytes are not encoded
+// here — they materialize only if something downstream needs octets.
 func (s *Stack) transmit(dst netip.Addr, hdr *packet.TCPHeader, payload []byte) {
 	ip := packet.IPv4Header{
 		Src: s.addr, Dst: dst,
@@ -319,10 +322,9 @@ func (s *Stack) transmit(dst netip.Addr, hdr *packet.TCPHeader, payload []byte) 
 	if !s.cfg.DisablePMTUD {
 		ip.Flags = packet.FlagDF
 	}
-	buf, err := packet.AppendTCP(s.encBuf[:0], &ip, hdr, payload)
+	f, err := s.arena.NewTCPFrame(s.ids.Next(), s.loop.Now(), &ip, hdr, payload)
 	if err != nil {
 		panic("tcpstack: encode: " + err.Error())
 	}
-	s.encBuf = buf[:0]
-	s.out.Input(s.arena.NewFrame(s.ids.Next(), s.arena.CopyBytes(buf), s.loop.Now()))
+	s.out.Input(f)
 }

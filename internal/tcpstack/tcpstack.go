@@ -197,14 +197,14 @@ type Stack struct {
 	stats Stats
 
 	// Steady-state scratch: the stack handles one segment at a time on a
-	// single-threaded loop, so one decoded packet, one outgoing header, one
-	// encode buffer and one payload buffer serve every connection without
-	// per-segment allocation. arena (optional) supplies the wire bytes and
-	// frames the stack emits.
+	// single-threaded loop, so one decoded packet, one outgoing header and
+	// one payload buffer serve every connection without per-segment
+	// allocation. arena (optional) supplies the frame views (and any
+	// materialized wire bytes) the stack emits.
 	arena      *netem.Arena
 	rxPkt      packet.Packet
+	viewPkt    packet.Packet // aliases a frame view during Input only
 	txHdr      packet.TCPHeader
-	encBuf     []byte
 	payloadBuf []byte
 	sackBuf    []byte
 	mssData    [2]byte
@@ -308,10 +308,30 @@ func (s *Stack) Config() Config { return s.cfg }
 // Conns returns the number of live connections (tests and leak checks).
 func (s *Stack) Conns() int { return len(s.conns) }
 
-// Input implements netem.Node: the stack's ingress from the network.
+// Input implements netem.Node: the stack's ingress from the network. A
+// frame carrying a decoded view is consumed as-is — zero decode, zero
+// checksum verification (views are checksum-valid by construction); only
+// byte-form frames (fragments, corrupted copies, externally injected
+// datagrams) pay the decode.
 func (s *Stack) Input(f *netem.Frame) {
-	// Decode into the stack's scratch packet: segment handling never
-	// retains the decoded form past the call.
+	if v := f.View(); v != nil {
+		if v.IP.Protocol != packet.ProtoTCP || v.IP.Dst != s.addr {
+			return
+		}
+		// Alias the view in the stack's scratch packet for the duration of
+		// the call: segment handling is read-only on the decoded form and
+		// never retains it, and the aliases are severed on return so no
+		// later decode can scribble on arena-owned view memory.
+		s.viewPkt.IP = v.IP
+		s.viewPkt.TCP = &v.TCP
+		s.viewPkt.Payload = v.Payload
+		s.viewPkt.WireLen = v.WireLen()
+		s.stats.SegsIn++
+		s.handleSegment(&s.viewPkt)
+		s.viewPkt.TCP = nil
+		s.viewPkt.Payload = nil
+		return
+	}
 	if err := packet.DecodeInto(&s.rxPkt, f.Data); err != nil || s.rxPkt.TCP == nil || s.rxPkt.IP.Dst != s.addr {
 		return // not ours or corrupt; a real NIC/IP layer drops silently
 	}

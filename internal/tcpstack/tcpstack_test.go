@@ -30,7 +30,7 @@ func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
 	h := &harness{t: t, loop: sim.NewLoop()}
 	sink := netem.NodeFunc(func(f *netem.Frame) {
-		p, err := packet.Decode(f.Data)
+		p, err := packet.Decode(f.Materialize())
 		if err != nil {
 			t.Fatalf("stack emitted undecodable frame: %v", err)
 		}

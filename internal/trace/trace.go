@@ -34,11 +34,14 @@ func NewCapture(name string) *Capture {
 	return &Capture{Name: name, byID: make(map[uint64]int)}
 }
 
-// Tap returns a netem.Tap that records into c and forwards to next.
+// Tap returns a netem.Tap that records into c and forwards to next. A
+// capture stores wire bytes — the ground truth tcpdump would have seen —
+// so tapping a view-built frame materializes it (once; the bytes are then
+// shared by every later tap and receiver).
 func (c *Capture) Tap(loop *sim.Loop, next netem.Node) *netem.Tap {
 	return netem.NewTap(loop, next, func(f *netem.Frame, at sim.Time) {
 		idx := len(c.records)
-		c.records = append(c.records, Record{Index: idx, At: at, FrameID: f.ID, Data: f.Data})
+		c.records = append(c.records, Record{Index: idx, At: at, FrameID: f.ID, Data: f.Materialize()})
 		if _, dup := c.byID[f.ID]; !dup {
 			c.byID[f.ID] = idx
 		}

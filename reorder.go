@@ -107,6 +107,9 @@ type (
 	MultiPathConfig = netem.MultiPathConfig
 	// ARQConfig describes a lossy layer-2 link with retransmission.
 	ARQConfig = netem.ARQConfig
+	// FrameView is the decoded form a zero-copy frame carries through the
+	// simulated wire (see PathSpec.Corrupt for what forces wire bytes).
+	FrameView = netem.FrameView
 	// HostProfile describes a remote stack's implementation behaviour.
 	HostProfile = host.Profile
 )
