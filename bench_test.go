@@ -18,6 +18,7 @@ import (
 	"reorder/internal/experiments"
 	"reorder/internal/host"
 	"reorder/internal/netem"
+	"reorder/internal/obs"
 	"reorder/internal/simnet"
 )
 
@@ -288,6 +289,25 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
 	b.ReportMetric(sum.FractionWithReordering(), "targets-reordering-frac")
+}
+
+// BenchmarkCampaignThroughputObserved is BenchmarkCampaignThroughput with
+// the telemetry registry attached: every scheduler claim, probe, sim event
+// and sink write lands in a per-worker shard. The delta against the bare
+// benchmark is the total cost of observability, budgeted at <3%.
+func BenchmarkCampaignThroughputObserved(b *testing.B) {
+	targets := benchCampaignTargets(b)
+	reg := obs.NewCampaign(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(campaign.Config{Targets: targets, Samples: 8, Workers: 16, Obs: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(targets)*b.N)/b.Elapsed().Seconds(), "targets/s")
+	snap := reg.Snapshot()
+	b.ReportMetric(float64(snap.Workers.SimEvents)/float64(snap.Workers.Targets), "sim-events/target")
 }
 
 // BenchmarkCampaignWorkers sweeps the pool size, exposing how far the

@@ -21,9 +21,11 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"reorder/internal/campaign"
 	"reorder/internal/cli"
+	"reorder/internal/obs"
 )
 
 func main() { cli.Main(run) }
@@ -45,6 +47,13 @@ type record struct {
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	GitRev     string  `json:"git_rev,omitempty"`
 	Points     []point `json:"points"`
+	// WallSeconds is the wall-clock duration of the whole bench run, a
+	// coarse sanity figure alongside the per-point ns/op.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Telemetry is the obs registry snapshot accumulated across the
+	// telemetry-enabled throughput leg's iterations: scheduler, probe
+	// latency, sim/netem and sink figures for the recorded hardware.
+	Telemetry *obs.Snapshot `json:"telemetry,omitempty"`
 }
 
 // history is the BENCH_probe.json schema: every committed run, oldest
@@ -123,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	began := time.Now()
 	rec := record{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), GitRev: gitRev()}
 	recordPoint := func(name string, perOpTargets int, bench func(b *testing.B)) {
 		res := testing.Benchmark(bench)
@@ -186,6 +196,25 @@ func run(args []string, stdout io.Writer) error {
 	recordPoint("CampaignThroughput", len(targets), campaignBench(16, 0))
 	recordPoint("CampaignThroughput-w8", len(targets), campaignBench(8, 0))
 	recordPoint("CampaignThroughput-w8-b16", len(targets), campaignBench(8, 16))
+
+	// CampaignThroughput-obs: the 16-worker campaign with the telemetry
+	// registry attached — the leg the instrumentation-overhead budget
+	// (<3% vs the bare CampaignThroughput) is held against. The registry
+	// accumulates across iterations; its final snapshot is recorded so
+	// the committed history carries real scheduler/sim/sink figures for
+	// the hardware that produced the timings.
+	reg := obs.NewCampaign(16)
+	recordPoint("CampaignThroughput-obs", len(targets), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.Run(campaign.Config{
+				Targets: targets, Samples: 8, Workers: 16, Obs: reg,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	snap := reg.Snapshot()
+	rec.Telemetry = &snap
 
 	// CampaignParallel: the BenchmarkCampaignParallel legs — the 8-worker
 	// batched campaign pinned to GOMAXPROCS 1, 4 and 8 — so the committed
@@ -257,6 +286,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	rec.WallSeconds = time.Since(began).Seconds()
 	hist.Records = append(hist.Records, rec)
 	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {

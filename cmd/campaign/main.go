@@ -12,13 +12,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"reorder/internal/campaign"
 	"reorder/internal/cli"
+	"reorder/internal/obs"
 )
 
 func main() { cli.Main(run) }
@@ -46,10 +49,13 @@ func run(args []string, stdout io.Writer) error {
 		forceRestart = fs.Bool("force-restart", false, "archive existing -out/-csv/-checkpoint files (to <path>.oldN) and start fresh; the escape hatch when -resume refuses a changed config")
 		stopAfter    = fs.Int("stop-after", 0, "stop cleanly after this many results (0 = run to completion)")
 		listTargets  = fs.Bool("list-targets", false, "print the enumerated target list and exit")
-		progress     = fs.Bool("progress", false, "print progress to stderr")
+		progress     = fs.Duration("progress", 0, "print progress to stderr at this interval, with cumulative and EWMA instantaneous rates (0 = off)")
 		quick        = fs.Bool("quick", false, "small campaign (2 seeds, single+syn) for smoke runs")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this path")
 		memProfile   = fs.String("memprofile", "", "write an allocation profile (taken at completion) to this path")
+		listen       = fs.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /campaign/progress, /debug/pprof); \":0\" picks a free port")
+		tracePath    = fs.String("trace", "", "write a structured JSONL run trace (span lifecycle, retries, checkpoints) to this path")
+		statsReport  = fs.Bool("stats", false, "append a telemetry report (scheduler, probe latency, sim, netem, sinks) to the summary")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -158,21 +164,81 @@ func run(args []string, stdout io.Writer) error {
 		Resume:         *resume,
 		StopAfter:      *stopAfter,
 	}
-	if *progress {
-		// Progress is batch-granular, so report on every crossed
-		// 250-target boundary rather than exact multiples (a batch may
-		// step right over one).
-		last := 0
+	// The telemetry registry exists only when a surface asked for it —
+	// a plain run keeps the zero-instrumentation fast path.
+	var reg *obs.Campaign
+	if *listen != "" || *tracePath != "" || *statsReport || *progress > 0 {
+		reg = obs.NewCampaign(cfg.Workers)
+		cfg.Obs = reg
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "campaign: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	var trace *obs.Trace
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		trace = obs.NewTrace(f)
+		cfg.Trace = trace
+	}
+	if *progress > 0 {
+		// Progress callbacks are span-granular and serial; the interval
+		// gates printing. The instantaneous rate is the registry's EWMA,
+		// the cumulative average is computed from the run clock.
+		interval := *progress
+		began := time.Now()
+		var lastPrint time.Time
 		cfg.Progress = func(done, total int) {
-			if done/250 > last/250 || done == total {
-				fmt.Fprintf(os.Stderr, "campaign: %d/%d targets\n", done, total)
+			now := time.Now()
+			if now.Sub(lastPrint) < interval && done != total {
+				return
 			}
-			last = done
+			lastPrint = now
+			_, _, inst := reg.Progress()
+			avg := float64(done) / now.Sub(began).Seconds()
+			fmt.Fprintf(os.Stderr, "campaign: %d/%d targets (avg %.0f/s, inst %.0f/s)\n",
+				done, total, avg, inst)
 		}
 	}
 
+	// First signal: quiesce — stop dispatching, drain in-flight spans,
+	// checkpoint the drain point, report the partial summary. Second
+	// signal: abort immediately.
+	interrupt := make(chan struct{})
+	runDone := make(chan struct{})
+	defer close(runDone)
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		select {
+		case <-sigCh:
+		case <-runDone:
+			return
+		}
+		fmt.Fprintf(os.Stderr, "campaign: signal received — draining in-flight spans (interrupt again to abort)\n")
+		close(interrupt)
+		select {
+		case <-sigCh:
+			fmt.Fprintln(os.Stderr, "campaign: aborted")
+			os.Exit(1)
+		case <-runDone:
+		}
+	}()
+	cfg.Interrupt = interrupt
+
 	began := time.Now()
 	sum, err := campaign.Run(cfg)
+	if cerr := trace.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -182,6 +248,11 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(os.Stderr, "campaign: %d targets in %v (%.0f targets/s, %d workers)\n",
 		sum.Targets, elapsed.Round(time.Millisecond), float64(sum.Targets)/elapsed.Seconds(), cfg.Workers)
 	sum.WriteText(stdout)
+	if *statsReport {
+		// Opt-in: the telemetry block carries wall-clock timings, so the
+		// default stdout stays byte-reproducible for a fixed seed.
+		reg.Snapshot().WriteText(stdout)
+	}
 	return nil
 }
 

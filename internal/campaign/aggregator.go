@@ -173,6 +173,12 @@ type Summary struct {
 
 	// Tests holds the per-technique breakdown, sorted by test name.
 	Tests []TestSummary
+
+	// Interrupted records that the run quiesced (graceful shutdown) before
+	// reaching its planned end: the summary covers the drained, emitted
+	// prefix only, and the checkpoint (when configured) points a resumed
+	// run at the remainder.
+	Interrupted bool
 }
 
 // TestSummary is one technique's slice of the campaign.
@@ -269,6 +275,9 @@ func (a *Aggregator) Summary() *Summary {
 // is a pure function of the aggregated results (no timing), so a fixed
 // seed reproduces it byte for byte.
 func (s *Summary) WriteText(w io.Writer) {
+	if s.Interrupted {
+		fmt.Fprintf(w, "campaign: interrupted — partial summary of the drained prefix\n")
+	}
 	fmt.Fprintf(w, "campaign: %d targets, %d measured, %d excluded (ipid), %d errors, %d retried\n",
 		s.Targets, s.Measured, s.Excluded, s.Errors, s.Retried)
 	fmt.Fprintf(w, "targets with some reordering: %d (%.1f%% of measured)\n",

@@ -36,6 +36,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"reorder/internal/obs"
 )
 
 // Config parameterizes a campaign run.
@@ -96,6 +98,23 @@ type Config struct {
 
 	// Progress, when set, is called after each in-order emit.
 	Progress func(done, total int)
+
+	// Obs, when set, is the telemetry registry the run reports into:
+	// scheduler counters, per-worker probe/sim/netem shards, sink and
+	// checkpoint counters, and the live progress frontier. Create it with
+	// obs.NewCampaign(workers) using the same worker count; a nil registry
+	// disables all instrumentation at the cost of one branch per site.
+	// Output bytes are identical with and without a registry.
+	Obs *obs.Campaign
+	// Trace, when set, receives structured JSONL run-trace events (span
+	// lifecycle, retries, checkpoints). The caller owns closing it.
+	Trace *obs.Trace
+	// Interrupt, when non-nil and closed, quiesces the run gracefully:
+	// dispatch stops, in-flight spans drain and emit in order, a final
+	// checkpoint is saved, and Run returns the drained prefix's summary
+	// with Summary.Interrupted set. A resumed run completes the remainder
+	// with byte-identical total output.
+	Interrupt <-chan struct{}
 }
 
 func (c Config) defaults() Config {
@@ -118,6 +137,8 @@ func (c Config) schedulerConfig() SchedulerConfig {
 		Burst:      c.Burst,
 		Window:     c.Window,
 		Batch:      c.Batch,
+		Obs:        c.Obs.SchedObs(),
+		Quiesce:    c.Interrupt,
 	}
 }
 
@@ -186,7 +207,13 @@ func Run(cfg Config) (*Summary, error) {
 		if sinks.csv != nil {
 			workers[i].csvEnc = NewCSVRowEncoder()
 		}
+		if cfg.Obs != nil {
+			workers[i].obs = cfg.Obs.Worker(i)
+			workers[i].arena.SetObserver(workers[i].obs)
+		}
 	}
+	cfg.Obs.StartRun(start, len(cfg.Targets))
+	cfg.Trace.RunStart(len(cfg.Targets), sched.Workers(), start)
 
 	// The batch pipeline: a worker claims a span, checks a spanBatch out
 	// of the pool, renders each result into the batch's JSONL/CSV buffers
@@ -202,17 +229,34 @@ func Run(cfg Config) (*Summary, error) {
 			b := pipe.get(hi - lo)
 			b.lo, b.hi = lo, hi
 			workers[worker].batch = b
+			workers[worker].spanSimNs = 0
 			pipe.publish(b)
+			cfg.Trace.SpanClaim(worker, lo, hi)
 		},
 		func(worker, index, attempt int) error {
 			w := &workers[worker]
 			b := w.batch
 			res := &b.results[index-b.lo]
+			var probeStart time.Time
+			if w.obs != nil {
+				w.obs.Attempts.Inc()
+				probeStart = time.Now()
+			}
 			w.arena.ProbeTargetInto(res, cfg.Targets[index], cfg.Samples, attempt)
+			if w.obs != nil {
+				w.obs.ProbeNanos.Observe(time.Since(probeStart).Nanoseconds())
+				w.spanSimNs += w.arena.LastSimNanos()
+			}
 			if res.Err != "" && attempt < cfg.Retries {
+				cfg.Trace.Retry(worker, index, attempt,
+					w.arena.LastSimNanos(), cfg.Backoff.Nanoseconds()<<uint(attempt), res.Err)
 				return fmt.Errorf("campaign: target %d: %s", index, res.Err)
 			}
 			agg.Shard(worker).Add(res)
+			if w.obs != nil {
+				w.obs.Targets.Inc()
+			}
+			j0, c0 := len(b.json), len(b.csv)
 			if sinks.jsonl != nil {
 				b.json = res.AppendJSON(b.json)
 				b.json = append(b.json, '\n')
@@ -221,6 +265,13 @@ func Run(cfg Config) (*Summary, error) {
 				// The first render failure sticks: emitting a batch
 				// with a silently missing row must be impossible.
 				b.csv, b.err = w.csvEnc.AppendRow(b.csv, res)
+			}
+			if w.obs != nil {
+				w.obs.RenderedJSONBytes.Add(uint64(len(b.json) - j0))
+				w.obs.RenderedCSVBytes.Add(uint64(len(b.csv) - c0))
+			}
+			if index == b.hi-1 {
+				cfg.Trace.SpanDone(worker, b.lo, b.hi, w.spanSimNs, int64(len(b.json)+len(b.csv)))
 			}
 			return nil
 		},
@@ -236,10 +287,18 @@ func Run(cfg Config) (*Summary, error) {
 				if err := sinks.jsonl.EmitBatch(b.json); err != nil {
 					return err
 				}
+				if cfg.Obs != nil {
+					cfg.Obs.Sinks.JSONLBatches.Inc()
+					cfg.Obs.Sinks.JSONLBytes.Add(uint64(len(b.json)))
+				}
 			}
 			if sinks.csv != nil {
 				if err := sinks.csv.EmitBatch(b.csv); err != nil {
 					return err
+				}
+				if cfg.Obs != nil {
+					cfg.Obs.Sinks.CSVBatches.Inc()
+					cfg.Obs.Sinks.CSVBytes.Add(uint64(len(b.csv)))
 				}
 			}
 			// Caller-provided sinks get a per-result copy: batch slots
@@ -258,6 +317,7 @@ func Run(cfg Config) (*Summary, error) {
 			prev := emitted
 			emitted = hi
 			pipe.put(b)
+			cfg.Trace.SpanEmit(lo, hi, emitted)
 			if cfg.CheckpointPath != "" &&
 				(emitted/cfg.CheckpointEvery > prev/cfg.CheckpointEvery || emitted == end) {
 				// Flush first: a checkpoint must never acknowledge
@@ -266,6 +326,7 @@ func Run(cfg Config) (*Summary, error) {
 				// and the campaign unresumable. Checkpoints are batch-
 				// granular — one save per crossed CheckpointEvery
 				// boundary — with the exact final count preserved.
+				flushStart := time.Now()
 				for _, s := range sinks.all {
 					if err := s.Flush(); err != nil {
 						return err
@@ -275,23 +336,61 @@ func Run(cfg Config) (*Summary, error) {
 				if err := ck.Save(cfg.CheckpointPath); err != nil {
 					return err
 				}
+				flushNs := time.Since(flushStart).Nanoseconds()
+				if cfg.Obs != nil {
+					cfg.Obs.Sinks.FlushNanos.Observe(flushNs)
+					cfg.Obs.Sinks.Checkpoints.Inc()
+				}
+				cfg.Trace.Checkpoint(emitted, flushNs)
 			}
+			cfg.Obs.NoteProgress(emitted, len(cfg.Targets))
 			if cfg.Progress != nil {
 				cfg.Progress(emitted, len(cfg.Targets))
 			}
 			return nil
 		})
+	// A quiesced run stopped claiming spans before the cursor reached end;
+	// everything in flight drained and emitted in order. Persist the exact
+	// drain point so a resume continues — and completes — the campaign with
+	// byte-identical total output.
+	interrupted := false
+	if cfg.Interrupt != nil && err == nil && emitted < end {
+		select {
+		case <-cfg.Interrupt:
+			interrupted = true
+		default:
+		}
+	}
+	if interrupted {
+		cfg.Obs.NoteQuiesce()
+		cfg.Trace.Quiesce(emitted)
+		if cfg.CheckpointPath != "" && ck.Done != emitted {
+			for _, s := range sinks.all {
+				if ferr := s.Flush(); ferr != nil && err == nil {
+					err = ferr
+				}
+			}
+			if err == nil {
+				ck.Done = emitted
+				err = ck.Save(cfg.CheckpointPath)
+			}
+		}
+	}
 	// Close errors matter even on the success path: the final buffered
 	// results reach disk during Close, and a full disk must not yield a
 	// successful report over a truncated output file.
 	closeErr := closeAll(sinks.all)
+	if err == nil {
+		err = closeErr
+	}
 	if err != nil {
+		cfg.Trace.RunEnd(emitted, interrupted, err.Error())
 		return nil, err
 	}
-	if closeErr != nil {
-		return nil, closeErr
-	}
-	return agg.Summary(), nil
+	cfg.Trace.RunEnd(emitted, interrupted, "")
+	sum := agg.Summary()
+	sum.Interrupted = interrupted
+	return sum, nil
 }
 
 // campaignWorker is one worker's private probing and rendering state.
@@ -299,6 +398,11 @@ type campaignWorker struct {
 	arena  *ProbeArena
 	csvEnc *CSVRowEncoder
 	batch  *spanBatch
+
+	// obs is this worker's telemetry shard (nil when disabled); spanSimNs
+	// accumulates the current span's simulated time for its trace event.
+	obs       *obs.Worker
+	spanSimNs int64
 }
 
 // spanBatch carries one dispatch span's results and their pre-encoded sink

@@ -5,6 +5,7 @@ import (
 
 	"reorder/internal/core"
 	"reorder/internal/host"
+	"reorder/internal/obs"
 	"reorder/internal/sim"
 	"reorder/internal/simnet"
 )
@@ -87,10 +88,47 @@ type ProbeArena struct {
 	// backends is the scratch the load-balanced pool's profiles are
 	// copied into before per-target mutation (the prototypes are shared).
 	backends []host.Profile
+
+	// obs, when set, receives per-probe simulator and netem statistics,
+	// harvested once per target after the probe runs (every stat is final
+	// then: the scenario resets at the start of the next probe, not the end
+	// of this one). Harvesting is a handful of atomic adds, off the sample
+	// path entirely. lastSimNs is the most recent probe's simulated time,
+	// kept for retry trace events.
+	obs       *obs.Worker
+	lastSimNs int64
 }
 
 // NewProbeArena returns an empty arena; the first probe populates it.
 func NewProbeArena() *ProbeArena { return &ProbeArena{} }
+
+// SetObserver attaches a telemetry shard to the arena. The shard must be
+// owned by the same worker as the arena (one writer per shard).
+func (a *ProbeArena) SetObserver(w *obs.Worker) { a.obs = w }
+
+// LastSimNanos returns the simulated time the most recent probe consumed,
+// 0 when no observer is attached.
+func (a *ProbeArena) LastSimNanos() int64 { return a.lastSimNs }
+
+// harvest folds the finished probe's simulator and netem statistics into
+// the observer shard.
+func (a *ProbeArena) harvest() {
+	o := a.obs
+	ls := a.net.Loop.Stats()
+	o.SimEvents.Add(ls.Executed)
+	o.SimReschedules.Add(ls.Rescheduled)
+	o.SimCompactions.Add(ls.Compactions)
+	o.SimPeakHeap.SetMax(int64(ls.PeakHeapSize))
+	a.lastSimNs = int64(a.net.Loop.Now())
+	o.SimNanos.AddInt(a.lastSimNs)
+	ns := a.net.Stats()
+	o.FramesIn.Add(ns.ElemIn)
+	o.FramesOut.Add(ns.ElemOut)
+	o.FramesDrop.Add(ns.ElemDropped)
+	o.FramesSwap.Add(ns.ElemSwapped)
+	o.FramesBorn.Add(ns.FramesBorn)
+	o.Materialized.Add(ns.Materialized)
+}
 
 // ProbeTarget is the package-level ProbeTarget probing through the arena.
 func (a *ProbeArena) ProbeTarget(t Target, samples int, attempt int) *TargetResult {
@@ -193,14 +231,31 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 		arena.net = simnet.New(cfg)
 		arena.prober = core.NewProber(arena.net.Probe(), arena.net.ServerAddr(), rng.Uint64())
 		n, prober = arena.net, arena.prober
+		if arena.obs != nil {
+			arena.obs.ArenaBuilds.Inc()
+		}
 	default:
 		arena.net.Reset(cfg)
 		arena.prober.Reset(rng.Uint64())
 		n, prober = arena.net, arena.prober
+		if arena.obs != nil {
+			arena.obs.ArenaResets.Inc()
+		}
 	}
 
+	runProbeTest(res, t.Test, samples, prober)
+	if arena != nil && arena.obs != nil {
+		arena.harvest()
+	}
+}
+
+// runProbeTest executes the target's technique against a built scenario and
+// fills the measurement fields of res; split out of probeTargetInto so the
+// arena can harvest end-of-probe telemetry on every exit path.
+func runProbeTest(res *TargetResult, test string, samples int, prober *core.Prober) {
+	var err error
 	var out *core.Result
-	switch t.Test {
+	switch test {
 	case "single":
 		out, err = prober.SingleConnectionTest(core.SCTOptions{Samples: samples, Reversed: true})
 	case "dual":
@@ -223,7 +278,7 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 	case "transfer":
 		out, err = prober.DataTransferTest(core.TransferOptions{IdleTimeout: 500 * time.Millisecond})
 	default:
-		res.Err = "campaign: unknown test " + t.Test
+		res.Err = "campaign: unknown test " + test
 		return
 	}
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"reorder/internal/obs"
 )
 
 // SchedulerConfig tunes the worker pool.
@@ -39,6 +41,16 @@ type SchedulerConfig struct {
 	// bucket stays the pacing authority. Batching never changes outputs —
 	// only how work is sliced.
 	Batch int
+	// Obs, when non-nil, receives scheduler telemetry: span claims, window
+	// stalls, retries, backoff and rate-limiter wait time. All counts are
+	// off the per-job fast path (per span, per stall, per retry), so an
+	// attached registry costs the hot loop nothing measurable.
+	Obs *obs.Scheduler
+	// Quiesce, when non-nil and closed, stops dispatch gracefully: no new
+	// spans are claimed, in-flight spans finish and emit in order, and the
+	// run returns nil. Callers distinguish a quiesced run from a completed
+	// one by how far the emit frontier got.
+	Quiesce <-chan struct{}
 }
 
 // DefaultWorkers is the pool size when SchedulerConfig.Workers is zero.
@@ -178,6 +190,11 @@ type gate struct {
 	cond    *sync.Cond
 	waiting int
 	stopped bool
+
+	// obs and now record stall telemetry on the slow path only; the
+	// two-atomic-load fast path never touches them.
+	obs *obs.Scheduler
+	now func() time.Time
 }
 
 // dispatchState holds the shared claim cursor on its own cache line.
@@ -200,14 +217,22 @@ func (g *gate) wait(index int) bool {
 	if int64(index) < g.frontier.Load()+g.window.Load() {
 		return true
 	}
+	var parkedAt time.Time
 	g.mu.Lock()
 	for int64(index) >= g.frontier.Load()+g.window.Load() && !g.stopped {
+		if g.obs != nil && parkedAt.IsZero() {
+			parkedAt = g.now()
+			g.obs.WindowStalls.Inc()
+		}
 		g.waiting++
 		g.cond.Wait()
 		g.waiting--
 	}
 	stopped := g.stopped
 	g.mu.Unlock()
+	if !parkedAt.IsZero() {
+		g.obs.WindowStallNanos.AddInt(g.now().Sub(parkedAt).Nanoseconds())
+	}
 	return !stopped
 }
 
@@ -290,6 +315,7 @@ func (s *Scheduler) RunSpans(start, end int,
 	}
 
 	g := newGate(start, window)
+	g.obs, g.now = s.cfg.Obs, s.now
 	ds := &dispatchState{}
 	cursor := &ds.cursor
 	cursor.Store(int64(start))
@@ -304,6 +330,11 @@ func (s *Scheduler) RunSpans(start, end int,
 	}
 
 	claim := func() (span, bool) {
+		select {
+		case <-s.cfg.Quiesce:
+			return span{}, false // draining: finish in-flight spans only
+		default:
+		}
 		for {
 			lo := cursor.Load()
 			if lo >= int64(end) {
@@ -323,6 +354,9 @@ func (s *Scheduler) RunSpans(start, end int,
 				hi = int64(end)
 			}
 			if cursor.CompareAndSwap(lo, hi) {
+				if s.cfg.Obs != nil {
+					s.cfg.Obs.SpanClaims.Inc()
+				}
 				return span{int(lo), int(hi)}, true
 			}
 		}
@@ -451,9 +485,15 @@ func (s *Scheduler) runJob(worker, index int, job func(worker, index, attempt in
 			return
 		default:
 		}
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.Retries.Inc()
+		}
 		if backoff > 0 {
 			if !s.sleepStop(backoff, stop) {
 				return
+			}
+			if s.cfg.Obs != nil {
+				s.cfg.Obs.BackoffNanos.AddInt(backoff.Nanoseconds())
 			}
 			backoff *= 2
 		}
@@ -501,6 +541,9 @@ func (tb *tokenBucket) take(s *Scheduler, stop <-chan struct{}) bool {
 		tb.mu.Unlock()
 		if !s.sleepStop(wait, stop) {
 			return false
+		}
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.RateWaitNanos.AddInt(wait.Nanoseconds())
 		}
 	}
 }

@@ -34,6 +34,18 @@ type Arena struct {
 	byteBlocks [][]byte
 	byteBlock  int
 	byteUsed   int
+
+	materialized uint64 // lazy wire-byte encodes since the last Reset
+}
+
+// Materialized returns how many frames materialized wire bytes from their
+// view since the last Reset — the count of times the zero-copy fast path
+// had to fall back to encoding octets.
+func (a *Arena) Materialized() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.materialized
 }
 
 // NewFrame returns a frame initialized with the given fields, allocated
@@ -132,4 +144,5 @@ func (a *Arena) Reset() {
 	a.frameBlock, a.frameUsed = 0, 0
 	a.viewBlock, a.viewUsed = 0, 0
 	a.byteBlock, a.byteUsed = 0, 0
+	a.materialized = 0
 }

@@ -86,6 +86,9 @@ func (f *Frame) Materialize() []byte {
 		panic("netem: materialize: " + err.Error())
 	}
 	f.Data = buf
+	if f.arena != nil {
+		f.arena.materialized++
+	}
 	return f.Data
 }
 
@@ -112,6 +115,10 @@ func (s *FrameIDs) Next() uint64 {
 	s.next++
 	return s.next
 }
+
+// Issued returns how many IDs have been handed out — the number of frames
+// born into the network under this ID space.
+func (s *FrameIDs) Issued() uint64 { return s.next }
 
 // Counters tracks what happened to frames at one element.
 type Counters struct {

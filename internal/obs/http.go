@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux returns the introspection HTTP handler for a campaign registry:
+//
+//	/metrics            Prometheus text-format exposition
+//	/campaign/progress  JSON Snapshot (mergeable mid-flight summaries)
+//	/debug/pprof/...    the standard runtime profiles
+//
+// The handler is safe to scrape while the campaign runs: every read is an
+// atomic shard load, so scraping never blocks a worker or perturbs the
+// measurement path.
+func NewMux(c *Campaign) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.WritePrometheus(w)
+	})
+	mux.HandleFunc("/campaign/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":9377" or
+// "127.0.0.1:0"; a :0 port is allocated by the OS and reported by Addr).
+// It returns once the listener is bound; requests are served on a
+// background goroutine until Close.
+func Serve(addr string, c *Campaign) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(c), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

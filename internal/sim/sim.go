@@ -111,8 +111,33 @@ type Loop struct {
 	ran    uint64
 	dead   int // cancelled events still occupying heap entries
 
+	resched     uint64
+	compactions uint64
+	peakHeap    int
+
 	slots    []slotState
 	freeSlot []int32
+}
+
+// LoopStats is a snapshot of the loop's internal counters, exposed for the
+// telemetry layer: callbacks executed, in-place timer reschedules, dead-entry
+// heap compactions, and the deepest heap observed. All are cumulative since
+// the last Reset.
+type LoopStats struct {
+	Executed     uint64
+	Rescheduled  uint64
+	Compactions  uint64
+	PeakHeapSize int
+}
+
+// Stats returns the loop's counters since the last Reset.
+func (l *Loop) Stats() LoopStats {
+	return LoopStats{
+		Executed:     l.ran,
+		Rescheduled:  l.resched,
+		Compactions:  l.compactions,
+		PeakHeapSize: l.peakHeap,
+	}
 }
 
 // NewLoop returns a Loop with the clock at time zero and no pending events.
@@ -136,6 +161,7 @@ func (l *Loop) Reset() {
 		l.freeSlot = append(l.freeSlot, int32(i))
 	}
 	l.now, l.seq, l.ran, l.dead = 0, 0, 0, 0
+	l.resched, l.compactions, l.peakHeap = 0, 0, 0
 }
 
 // Now returns the current virtual time.
@@ -236,6 +262,7 @@ func (l *Loop) reschedule(tm Timer, t Time, fn func(), afn func(any), arg any) T
 	ev.fn, ev.afn, ev.arg = fn, afn, arg
 	l.siftDown(s.heapIdx)
 	l.siftUp(s.heapIdx)
+	l.resched++
 	return Timer{l: l, slot: tm.slot, gen: s.gen}
 }
 
@@ -248,6 +275,7 @@ func (l *Loop) maybeCompact() {
 	if l.dead < 64 || l.dead*2 < len(l.events) {
 		return
 	}
+	l.compactions++
 	kept := l.events[:0]
 	for i := range l.events {
 		ev := &l.events[i]
@@ -290,6 +318,9 @@ func (l *Loop) push(t Time, fn func(), afn func(any), arg any) Timer {
 	i := int32(len(l.events))
 	l.events = append(l.events, event{at: t, seq: l.seq, fn: fn, afn: afn, arg: arg, slot: slot})
 	l.seq++
+	if n := len(l.events); n > l.peakHeap {
+		l.peakHeap = n
+	}
 	l.slots[slot].heapIdx = i
 	l.siftUp(i)
 	return Timer{l: l, slot: slot, gen: l.slots[slot].gen}

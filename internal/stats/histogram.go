@@ -48,6 +48,23 @@ func NewHistogram(edges []float64) *Histogram {
 	return &Histogram{edges: edges, counts: make([]uint64, len(edges)-1)}
 }
 
+// HistogramFromCounts adopts precomputed bin counts over the given edges,
+// with the exact observed min and max. It is the snapshot half of sharded
+// telemetry recorders (internal/obs): each shard's atomic bin counts are
+// loaded once at scrape time and folded into an ordinary Histogram, which
+// then merges and summarizes exactly like any live-built one. counts must
+// have len(edges)-1 entries; the slices are retained, not copied.
+func HistogramFromCounts(edges []float64, counts []uint64, min, max float64) *Histogram {
+	if len(counts) != len(edges)-1 {
+		panic(fmt.Sprintf("stats: %d counts for %d edges", len(counts), len(edges)))
+	}
+	h := &Histogram{edges: edges, counts: counts, min: min, max: max}
+	for _, c := range counts {
+		h.n += c
+	}
+	return h
+}
+
 // UniformEdges returns bins+1 equally spaced edges over [lo, hi].
 func UniformEdges(lo, hi float64, bins int) []float64 {
 	if bins <= 0 || !(hi > lo) {
