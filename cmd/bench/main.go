@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"os/exec"
 	"runtime"
@@ -25,7 +26,9 @@ import (
 
 	"reorder/internal/campaign"
 	"reorder/internal/cli"
+	"reorder/internal/netem"
 	"reorder/internal/obs"
+	"reorder/internal/packet"
 )
 
 func main() { cli.Main(run) }
@@ -163,6 +166,26 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 
+	// RouterForward: the topology graph's per-frame routing cost — flow
+	// classification, destination lookup and round-robin spray across a
+	// two-port group — with Discard ports, so the figure isolates the
+	// router from link queueing.
+	router := netem.NewRouter()
+	routed := netip.AddrFrom4([4]byte{10, 0, 1, 1})
+	router.AddRoute(routed, router.AddGroup(netem.Discard, netem.Discard))
+	raw, err := packet.EncodeTCP(
+		&packet.IPv4Header{Src: netip.AddrFrom4([4]byte{10, 0, 0, 1}), Dst: routed},
+		&packet.TCPHeader{SrcPort: 5000, DstPort: 80, Seq: 1, Flags: packet.FlagACK}, nil)
+	if err != nil {
+		return err
+	}
+	routedFrame := &netem.Frame{ID: 1, Data: raw}
+	recordPoint("RouterForward", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			router.Input(routedFrame)
+		}
+	})
+
 	// CampaignProbe: the steady-state unit cost — one target probed
 	// through a reused worker arena, as campaign.Run does it.
 	probeTarget := campaign.Target{Profile: "freebsd4", Impairment: "swap-heavy", Test: "single", Seed: 7}
@@ -173,6 +196,25 @@ func run(args []string, stdout io.Writer) error {
 	recordPoint("CampaignProbe", 1, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if res := arena.ProbeTarget(probeTarget, 8, 0); res.Err != "" {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+
+	// CampaignProbe-multihop: the same unit cost over a routed multi-hop
+	// graph with cross traffic — what a topology target adds on top of the
+	// point-to-point fast path (graph build/reset, router hops, background
+	// flows sharing the bottleneck).
+	multihopTarget := campaign.Target{
+		Profile: "freebsd4", Impairment: "clean", Test: "single", Seed: 7,
+		Topology: "multihop",
+	}
+	if res := arena.ProbeTarget(multihopTarget, 8, 0); res.Err != "" {
+		return fmt.Errorf("bench: multihop warmup probe failed: %s", res.Err)
+	}
+	recordPoint("CampaignProbe-multihop", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := arena.ProbeTarget(multihopTarget, 8, 0); res.Err != "" {
 				b.Fatal(res.Err)
 			}
 		}
@@ -196,6 +238,30 @@ func run(args []string, stdout io.Writer) error {
 	recordPoint("CampaignThroughput", len(targets), campaignBench(16, 0))
 	recordPoint("CampaignThroughput-w8", len(targets), campaignBench(8, 0))
 	recordPoint("CampaignThroughput-w8-b16", len(targets), campaignBench(8, 16))
+
+	// CampaignThroughput-topo: the orchestrator over routed topology
+	// targets — pooled graph reuse, multi-hop forwarding and cross-traffic
+	// flows inside every probe.
+	topoTargets, err := campaign.Enumerate(campaign.EnumSpec{
+		Profiles:    []string{"freebsd4", "linux22"},
+		Impairments: []string{"clean"},
+		Tests:       []string{"single", "dual"},
+		Seeds:       2,
+		BaseSeed:    11,
+		Topologies:  []string{"bottleneck", "multihop"},
+	})
+	if err != nil {
+		return err
+	}
+	recordPoint("CampaignThroughput-topo", len(topoTargets), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.Run(campaign.Config{
+				Targets: topoTargets, Samples: 8, Workers: 16,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	// CampaignThroughput-obs: the 16-worker campaign with the telemetry
 	// registry attached — the leg the instrumentation-overhead budget

@@ -21,6 +21,7 @@ import (
 
 	"reorder/internal/campaign"
 	"reorder/internal/cli"
+	"reorder/internal/experiments"
 	"reorder/internal/obs"
 )
 
@@ -34,7 +35,9 @@ func run(args []string, stdout io.Writer) error {
 		tests        = fs.String("tests", "", "comma-separated techniques (default: single,dual,syn,transfer)")
 		seeds        = fs.Int("seeds", 0, "seed replicas per profile×impairment×test combination (0 = auto: 7, or 2 with -quick)")
 		baseSeed     = fs.Uint64("seed", 719, "base seed; fixes every scenario draw in the campaign")
-		targetsPath  = fs.String("targets", "", "targets file (profile impairment test seed per line); overrides enumeration")
+		topologies   = fs.String("topology", "", "comma-separated topology graphs from the catalog (\"p2p\" is the point-to-point control); adds a topology dimension to the enumeration")
+		congestion   = fs.Bool("congestion", false, "run the congestion experiment instead of a raw campaign: clean-path probes over routed topologies, techniques cross-checked for agreement")
+		targetsPath  = fs.String("targets", "", "targets file (profile impairment test seed [topology] per line); overrides enumeration")
 		samples      = fs.Int("samples", 8, "samples per measurement")
 		workers      = fs.Int("workers", 16, "concurrent probe workers")
 		retries      = fs.Int("retries", 1, "extra attempts for a failed target")
@@ -91,6 +94,21 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
+	if *congestion {
+		rep, err := experiments.RunCongestion(experiments.CongestionConfig{
+			Topologies: splitList(*topologies),
+			Replicas:   *seeds,
+			Samples:    *samples,
+			Workers:    *workers,
+			Seed:       *baseSeed,
+		})
+		if err != nil {
+			return err
+		}
+		rep.WriteText(stdout)
+		return nil
+	}
+
 	var targets []campaign.Target
 	if *targetsPath != "" {
 		f, err := os.Open(*targetsPath)
@@ -109,6 +127,7 @@ func run(args []string, stdout io.Writer) error {
 			Tests:       splitList(*tests),
 			Seeds:       *seeds,
 			BaseSeed:    *baseSeed,
+			Topologies:  splitList(*topologies),
 		}
 		// -quick shrinks only the dimensions the user did not set
 		// explicitly, so e.g. `-quick -seeds 5` keeps 5 seed replicas.

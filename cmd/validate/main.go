@@ -19,6 +19,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced grid for a fast smoke run")
 	samples := fs.Int("samples", 0, "override samples per run")
+	workers := fs.Int("workers", 0, "parallel runs (0 = GOMAXPROCS); the report is identical at any worker count")
 	csvPath := fs.String("csv", "", "also write the per-run table as CSV to this path")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -31,6 +32,7 @@ func run(args []string, stdout io.Writer) error {
 	if *samples > 0 {
 		cfg.Samples = *samples
 	}
+	cfg.Workers = *workers
 	rep := experiments.RunValidation(cfg)
 	rep.WriteText(stdout)
 	if *csvPath != "" {

@@ -206,6 +206,9 @@ func Run(cfg Config) (*Summary, error) {
 		workers[i].arena = NewProbeArena()
 		if sinks.csv != nil {
 			workers[i].csvEnc = NewCSVRowEncoder()
+			if hasTopology(cfg.Targets) {
+				workers[i].csvEnc.IncludeTopology()
+			}
 		}
 		if cfg.Obs != nil {
 			workers[i].obs = cfg.Obs.Worker(i)
@@ -488,6 +491,7 @@ func openSinks(cfg Config, replayed []*TargetResult) (sinkSet, error) {
 		return sinkSet{}, err
 	}
 	resuming := len(replayed) > 0
+	withTopo := hasTopology(cfg.Targets)
 	if cfg.OutputPath != "" {
 		flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
 		if resuming {
@@ -506,6 +510,12 @@ func openSinks(cfg Config, replayed []*TargetResult) (sinkSet, error) {
 			return fail(err)
 		}
 		cs := NewCSVSink(f)
+		if withTopo {
+			// Enable the topology column before the replay emits below so
+			// the rebuilt prefix carries the same header and row shape as
+			// the live rows that follow.
+			cs.IncludeTopology()
+		}
 		sinks.csv = cs
 		sinks.all = append(sinks.all, cs)
 		for _, r := range replayed {
@@ -530,10 +540,30 @@ func closeAll(sinks []Sink) error {
 	return first
 }
 
-// WriteTargets emits the target list in the LoadTargets file format.
+// hasTopology reports whether any target names a routed-graph topology —
+// the predicate deciding the optional CSV topology column. It depends only
+// on the target list, so a resumed campaign makes the same choice as the
+// original run.
+func hasTopology(targets []Target) bool {
+	for i := range targets {
+		if targets[i].Topology != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteTargets emits the target list in the LoadTargets file format; the
+// fifth (topology) field appears only on targets that have one.
 func WriteTargets(w io.Writer, targets []Target) error {
 	for _, t := range targets {
-		if _, err := fmt.Fprintf(w, "%s %s %s %d\n", t.Profile, t.Impairment, t.Test, t.Seed); err != nil {
+		var err error
+		if t.Topology != "" {
+			_, err = fmt.Fprintf(w, "%s %s %s %d %s\n", t.Profile, t.Impairment, t.Test, t.Seed, t.Topology)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %s %s %d\n", t.Profile, t.Impairment, t.Test, t.Seed)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -51,6 +51,13 @@ func Fingerprint(targets []Target, samples int) uint64 {
 		buf = append(buf, t.Test...)
 		buf = append(buf, '|')
 		buf = strconv.AppendUint(buf, t.Seed, 10)
+		// The topology segment is appended only when present, so target
+		// lists without one hash to the exact pre-topology stream and old
+		// checkpoints keep verifying.
+		if t.Topology != "" {
+			buf = append(buf, '|')
+			buf = append(buf, t.Topology...)
+		}
 		buf = append(buf, '\n')
 		h.Write(buf)
 	}

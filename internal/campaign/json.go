@@ -71,6 +71,10 @@ func (r *TargetResult) AppendJSON(dst []byte) []byte {
 		dst = append(dst, `,"seq_dupthresh_exposure":`...)
 		dst = appendJSONFloat(dst, r.SeqDupthreshExposure)
 	}
+	if r.Topology != "" {
+		dst = append(dst, `,"topology":`...)
+		dst = appendJSONString(dst, r.Topology)
+	}
 	return append(dst, '}')
 }
 

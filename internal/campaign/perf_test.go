@@ -131,6 +131,11 @@ func TestAppendJSONMatchesMarshal(t *testing.T) {
 		{FwdRate: 1e-7, RevRate: 3.1e21, SeqRatio: 0.1, SeqDupthreshExposure: 5e-324},
 		{FwdRate: math.MaxFloat64, RevRate: -1e-9, RTTMicros: -17},
 		{DCTExcluded: "zero-ipid", Err: "boom"},
+		{
+			Name: "freebsd4/clean/single/s7@parallel-x2", Profile: "freebsd4",
+			Impairment: "clean", Test: "single", Topology: "parallel-x2",
+			FwdValid: 8, FwdReordered: 2, FwdRate: 0.25, AnyReordering: true,
+		},
 	}
 	for i, r := range cases {
 		want, err := json.Marshal(r)

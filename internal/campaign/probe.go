@@ -59,6 +59,12 @@ type TargetResult struct {
 	// fraction of segments a dupthresh-3 sender would misread as loss and
 	// spuriously fast-retransmit.
 	SeqDupthreshExposure float64 `json:"seq_dupthresh_exposure,omitempty"`
+
+	// Topology names the routed-graph topology the target ran over; empty
+	// for the classic point-to-point path, so pre-topology records are
+	// byte-identical. Keep this field last: JSONL column order is
+	// append-only.
+	Topology string `json:"topology,omitempty"`
 }
 
 // PathRate is the target's overall reordering rate: valid samples from
@@ -82,9 +88,11 @@ type ProbeArena struct {
 	net    *simnet.Net
 	prober *core.Prober
 
-	// rng and impRng are the per-target stream and its impairment fork,
-	// reseeded per probe instead of allocated.
-	rng, impRng *sim.Rand
+	// rng, impRng and topoRng are the per-target stream and its impairment
+	// and topology forks, reseeded per probe instead of allocated. topoRng
+	// is forked only for topology targets, so point-to-point probes consume
+	// the stream exactly as they did before topologies existed.
+	rng, impRng, topoRng *sim.Rand
 	// backends is the scratch the load-balanced pool's profiles are
 	// copied into before per-target mutation (the prototypes are shared).
 	backends []host.Profile
@@ -101,6 +109,11 @@ type ProbeArena struct {
 
 // NewProbeArena returns an empty arena; the first probe populates it.
 func NewProbeArena() *ProbeArena { return &ProbeArena{} }
+
+// debugDegenerateTopology, when set by tests, forces point-to-point targets
+// through the graph constructor's empty-spec dispatch. Never set outside
+// tests.
+var debugDegenerateTopology bool
 
 // SetObserver attaches a telemetry shard to the arena. The shard must be
 // owned by the same worker as the arena (one writer per shard).
@@ -163,7 +176,7 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 	*res = TargetResult{
 		Index: t.Index, Name: t.Name, Profile: t.Profile,
 		Impairment: t.Impairment, Test: t.Test, Seed: t.Seed,
-		Attempts: attempt + 1,
+		Attempts: attempt + 1, Topology: t.Topology,
 	}
 
 	cfg, err := resolveProfile(t.Profile)
@@ -172,6 +185,11 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 		return
 	}
 	imp, err := impairmentByName(t.Impairment)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	topo, err := topologyByName(t.Topology)
 	if err != nil {
 		res.Err = err.Error()
 		return
@@ -198,6 +216,22 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 		cfg.Forward, cfg.Reverse = imp.Build(arena.impRng)
 	} else {
 		cfg.Forward, cfg.Reverse = imp.Build(rng.Fork(1))
+	}
+	// Topology targets consume one extra fork (label 2); point-to-point
+	// targets skip it entirely, keeping their stream — and therefore their
+	// bytes — identical to pre-topology campaigns.
+	if t.Topology != "" {
+		if arena != nil {
+			arena.topoRng = rng.ForkInto(arena.topoRng, 2)
+			cfg.Topology = topo.Build(arena.topoRng)
+		} else {
+			cfg.Topology = topo.Build(rng.Fork(2))
+		}
+	} else if debugDegenerateTopology {
+		// Test hook: route the point-to-point case through the graph
+		// constructor's empty-spec branch without touching the stream, so
+		// golden-output tests can pin that the dispatch itself is inert.
+		cfg.Topology = &simnet.TopologySpec{}
 	}
 	// The load-balanced pool's backend prototypes are shared; copy before
 	// the per-target ObjectSize mutation below.

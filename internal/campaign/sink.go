@@ -86,6 +86,7 @@ type CSVSink struct {
 	cw        *csv.Writer
 	c         io.Closer
 	wroteHead bool
+	withTopo  bool
 	row       []string // reused per record; csv.Writer copies it out on Write
 }
 
@@ -111,10 +112,18 @@ func NewCSVSink(w io.Writer) *CSVSink {
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// appendCSVFields builds r's row in csvHeader order. Shared by the serial
-// sink and the worker-side row encoder so both render identical bytes.
-func appendCSVFields(row []string, r *TargetResult) []string {
-	return append(row,
+// IncludeTopology adds the append-only "topology" column to the header and
+// every row. The campaign enables it exactly when the target list has
+// topology targets — a deterministic function of the targets, so resumed
+// runs make the same choice — and leaves classic campaigns' CSV output
+// byte-identical to pre-topology builds. Call before the first Emit.
+func (s *CSVSink) IncludeTopology() { s.withTopo = true }
+
+// appendCSVFields builds r's row in csvHeader order (plus the optional
+// trailing topology column). Shared by the serial sink and the worker-side
+// row encoder so both render identical bytes.
+func appendCSVFields(row []string, r *TargetResult, withTopo bool) []string {
+	row = append(row,
 		strconv.Itoa(r.Index), r.Name, r.Profile, r.Impairment, r.Test,
 		strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Attempts),
 		r.Err, r.DCTExcluded,
@@ -125,6 +134,10 @@ func appendCSVFields(row []string, r *TargetResult) []string {
 		strconv.Itoa(r.SeqMaxExtent), strconv.Itoa(r.SeqNReordering),
 		fmtFloat(r.SeqDupthreshExposure),
 	)
+	if withTopo {
+		row = append(row, r.Topology)
+	}
+	return row
 }
 
 // Emit implements Sink.
@@ -132,7 +145,7 @@ func (s *CSVSink) Emit(r *TargetResult) error {
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
-	s.row = appendCSVFields(s.row[:0], r)
+	s.row = appendCSVFields(s.row[:0], r, s.withTopo)
 	return s.cw.Write(s.row)
 }
 
@@ -142,6 +155,9 @@ func (s *CSVSink) writeHeader() error {
 		return nil
 	}
 	s.wroteHead = true
+	if s.withTopo {
+		return s.cw.Write(append(append([]string(nil), csvHeader...), "topology"))
+	}
 	return s.cw.Write(csvHeader)
 }
 
@@ -188,9 +204,10 @@ func (s *CSVSink) Close() error {
 // flushes whole spans with CSVSink.EmitBatch. Not safe for concurrent
 // use: one worker, one encoder.
 type CSVRowEncoder struct {
-	buf bytes.Buffer
-	cw  *csv.Writer
-	row []string
+	buf      bytes.Buffer
+	cw       *csv.Writer
+	row      []string
+	withTopo bool
 }
 
 // NewCSVRowEncoder returns an encoder with its own scratch writer.
@@ -200,10 +217,14 @@ func NewCSVRowEncoder() *CSVRowEncoder {
 	return e
 }
 
+// IncludeTopology mirrors CSVSink.IncludeTopology; the campaign sets both
+// from the same predicate so worker rows match the sink's header.
+func (e *CSVRowEncoder) IncludeTopology() { e.withTopo = true }
+
 // AppendRow appends r's encoded CSV row (with line terminator) to dst.
 func (e *CSVRowEncoder) AppendRow(dst []byte, r *TargetResult) ([]byte, error) {
 	e.buf.Reset()
-	e.row = appendCSVFields(e.row[:0], r)
+	e.row = appendCSVFields(e.row[:0], r, e.withTopo)
 	if err := e.cw.Write(e.row); err != nil {
 		return dst, err
 	}

@@ -32,10 +32,18 @@ type Target struct {
 	Test string `json:"test"`
 	// Seed drives every stochastic choice the target's scenario makes.
 	Seed uint64 `json:"seed"`
+	// Topology names a routed-graph topology from Topologies(). Empty means
+	// the classic point-to-point path — the default for every pre-topology
+	// campaign, which is why the field is append-only and omitted when
+	// empty everywhere it is serialized.
+	Topology string `json:"topology,omitempty"`
 }
 
 // defaultName derives the canonical target name.
 func (t Target) defaultName() string {
+	if t.Topology != "" {
+		return fmt.Sprintf("%s/%s/%s/s%d@%s", t.Profile, t.Impairment, t.Test, t.Seed, t.Topology)
+	}
 	return fmt.Sprintf("%s/%s/%s/s%d", t.Profile, t.Impairment, t.Test, t.Seed)
 }
 
@@ -196,6 +204,9 @@ type EnumSpec struct {
 	// BaseSeed offsets the derived per-target seeds, so two campaigns
 	// over the same cross product can draw disjoint scenarios.
 	BaseSeed uint64
+	// Topologies are topology names from TopologyNames(), with "" meaning
+	// the point-to-point path (default: [""], i.e. no topology dimension).
+	Topologies []string
 }
 
 // Enumerate expands the cross product profiles × impairments × tests ×
@@ -215,6 +226,9 @@ func Enumerate(spec EnumSpec) ([]Target, error) {
 	if spec.Seeds <= 0 {
 		spec.Seeds = 1
 	}
+	if len(spec.Topologies) == 0 {
+		spec.Topologies = []string{""}
+	}
 	for _, p := range spec.Profiles {
 		if _, err := resolveProfile(p); err != nil {
 			return nil, err
@@ -230,20 +244,28 @@ func Enumerate(spec EnumSpec) ([]Target, error) {
 			return nil, fmt.Errorf("campaign: unknown test %q", te)
 		}
 	}
+	for _, topo := range spec.Topologies {
+		if _, err := topologyByName(topo); err != nil {
+			return nil, err
+		}
+	}
 	var targets []Target
-	for _, p := range spec.Profiles {
-		for _, im := range spec.Impairments {
-			for _, te := range spec.Tests {
-				for s := 0; s < spec.Seeds; s++ {
-					t := Target{
-						Index:      len(targets),
-						Profile:    p,
-						Impairment: im,
-						Test:       te,
-						Seed:       deriveSeed(spec.BaseSeed, p, im, s),
+	for _, topo := range spec.Topologies {
+		for _, p := range spec.Profiles {
+			for _, im := range spec.Impairments {
+				for _, te := range spec.Tests {
+					for s := 0; s < spec.Seeds; s++ {
+						t := Target{
+							Index:      len(targets),
+							Profile:    p,
+							Impairment: im,
+							Test:       te,
+							Seed:       deriveTopoSeed(spec.BaseSeed, p, im, topo, s),
+							Topology:   topo,
+						}
+						t.Name = t.defaultName()
+						targets = append(targets, t)
 					}
-					t.Name = t.defaultName()
-					targets = append(targets, t)
 				}
 			}
 		}
@@ -264,6 +286,18 @@ func deriveSeed(base uint64, profile, impairment string, replica int) uint64 {
 	return h.Sum64()
 }
 
+// deriveTopoSeed extends deriveSeed with the topology dimension. The
+// point-to-point case ("") hashes the exact pre-topology string, so every
+// historical target list re-derives byte-identically.
+func deriveTopoSeed(base uint64, profile, impairment, topology string, replica int) uint64 {
+	if topology == "" {
+		return deriveSeed(base, profile, impairment, replica)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s|%d", base, profile, impairment, topology, replica)
+	return h.Sum64()
+}
+
 func validTest(name string) bool {
 	switch name {
 	case "single", "dual", "syn", "transfer":
@@ -273,8 +307,9 @@ func validTest(name string) bool {
 }
 
 // LoadTargets parses a targets file: one target per line as
-// "profile impairment test seed", with blank lines and #-comments
-// ignored. Indices and names are assigned in file order.
+// "profile impairment test seed" with an optional fifth "topology" field,
+// blank lines and #-comments ignored. Indices and names are assigned in
+// file order.
 func LoadTargets(r io.Reader) ([]Target, error) {
 	var targets []Target
 	sc := bufio.NewScanner(r)
@@ -286,8 +321,8 @@ func LoadTargets(r io.Reader) ([]Target, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 4 {
-			return nil, fmt.Errorf("campaign: targets line %d: want \"profile impairment test seed\", got %q", line, text)
+		if len(fields) != 4 && len(fields) != 5 {
+			return nil, fmt.Errorf("campaign: targets line %d: want \"profile impairment test seed [topology]\", got %q", line, text)
 		}
 		if _, err := resolveProfile(fields[0]); err != nil {
 			return nil, fmt.Errorf("campaign: targets line %d: %w", line, err)
@@ -302,9 +337,16 @@ func LoadTargets(r io.Reader) ([]Target, error) {
 		if err != nil {
 			return nil, fmt.Errorf("campaign: targets line %d: bad seed: %w", line, err)
 		}
+		topo := ""
+		if len(fields) == 5 {
+			topo = fields[4]
+			if _, err := topologyByName(topo); err != nil {
+				return nil, fmt.Errorf("campaign: targets line %d: %w", line, err)
+			}
+		}
 		t := Target{
 			Index: len(targets), Profile: fields[0], Impairment: fields[1],
-			Test: fields[2], Seed: seed,
+			Test: fields[2], Seed: seed, Topology: topo,
 		}
 		t.Name = t.defaultName()
 		targets = append(targets, t)

@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"reorder/internal/host"
+	"reorder/internal/sim"
+	"reorder/internal/simnet"
+)
+
+// Topology is a named, seedable routed-graph scenario shape. Like
+// Impairment, Build is a pure function of the passed stream: flow start
+// times and transfer sizes vary per target seed, the graph shape does not.
+type Topology struct {
+	// Name identifies the topology in target specs; "" is the classic
+	// point-to-point path.
+	Name string
+	// Build derives the graph from a per-target stream. A nil return means
+	// point-to-point.
+	Build func(rng *sim.Rand) *simnet.TopologySpec
+}
+
+// crossFlows derives n background flows into cross host "x0"/"x1"…,
+// jittering start (0–20ms) and size (256–512 KiB) so replicas sample
+// different contention phases against the probe.
+func crossFlows(rng *sim.Rand, router string, n int) []simnet.FlowSpec {
+	flows := make([]simnet.FlowSpec, n)
+	for i := range flows {
+		flows[i] = simnet.FlowSpec{
+			Router: router,
+			To:     fmt.Sprintf("x%d", i),
+			Bytes:  256<<10 + rng.IntN(256<<10),
+			Start:  time.Duration(rng.IntN(20_000)) * time.Microsecond,
+		}
+	}
+	return flows
+}
+
+func crossHosts(router string, n int) []simnet.CrossHostSpec {
+	hosts := make([]simnet.CrossHostSpec, n)
+	for i := range hosts {
+		hosts[i] = simnet.CrossHostSpec{Name: fmt.Sprintf("x%d", i), Router: router, Profile: host.Linux24()}
+	}
+	return hosts
+}
+
+// Topologies returns the registry of named routed-graph shapes a campaign
+// can enumerate alongside profiles and impairments.
+//
+//   - "p2p" (and "") is the degenerate two-node path.
+//   - "bottleneck" shares one queue-limited 8 Mbps link between the probe
+//     and two background flows: emergent queueing delay and droptail loss.
+//   - "parallel-x2" bonds two equal-cost 6 Mbps links with per-packet
+//     round-robin spray; cross traffic loads the two queues unevenly, so
+//     back-to-back probe packets overtake — congestion-induced reordering
+//     with zero mechanism-injected impairment.
+//   - "multihop" chains both: a bottleneck hop feeding a parallel bundle,
+//     with flows crossing each hop.
+func Topologies() []Topology {
+	return []Topology{
+		{Name: "p2p", Build: func(rng *sim.Rand) *simnet.TopologySpec { return nil }},
+		{Name: "bottleneck", Build: func(rng *sim.Rand) *simnet.TopologySpec {
+			return &simnet.TopologySpec{
+				Routers:    []simnet.RouterSpec{{Name: "r0"}, {Name: "r1"}},
+				Links:      []simnet.LinkSpec{{A: "r0", B: "r1", RateBps: 8_000_000, QueueLimit: 32}},
+				CrossHosts: crossHosts("r1", 2),
+				Flows:      crossFlows(rng, "r0", 2),
+			}
+		}},
+		{Name: "parallel-x2", Build: func(rng *sim.Rand) *simnet.TopologySpec {
+			return &simnet.TopologySpec{
+				Routers:    []simnet.RouterSpec{{Name: "r0"}, {Name: "r1"}},
+				Links:      []simnet.LinkSpec{{A: "r0", B: "r1", Parallel: 2, RateBps: 6_000_000, QueueLimit: 32}},
+				CrossHosts: crossHosts("r1", 2),
+				Flows:      crossFlows(rng, "r0", 2),
+			}
+		}},
+		{Name: "multihop", Build: func(rng *sim.Rand) *simnet.TopologySpec {
+			spec := &simnet.TopologySpec{
+				Routers: []simnet.RouterSpec{{Name: "r0"}, {Name: "r1"}, {Name: "r2"}},
+				Links: []simnet.LinkSpec{
+					{A: "r0", B: "r1", RateBps: 10_000_000, QueueLimit: 48},
+					{A: "r1", B: "r2", Parallel: 2, RateBps: 6_000_000, QueueLimit: 32},
+				},
+				CrossHosts: crossHosts("r2", 3),
+			}
+			spec.Flows = append(crossFlows(rng, "r0", 2),
+				simnet.FlowSpec{Router: "r1", To: "x2",
+					Bytes: 256<<10 + rng.IntN(256<<10),
+					Start: time.Duration(rng.IntN(20_000)) * time.Microsecond})
+			return spec
+		}},
+	}
+}
+
+// topologies caches the registry; Build closures are stateless.
+var topologies = Topologies()
+
+// TopologyNames returns the registry names in registry order.
+func TopologyNames() []string {
+	var names []string
+	for _, tp := range topologies {
+		names = append(names, tp.Name)
+	}
+	return names
+}
+
+// topologyByName resolves a topology name; "" is the point-to-point path.
+func topologyByName(name string) (Topology, error) {
+	if name == "" {
+		return Topology{Name: "", Build: func(rng *sim.Rand) *simnet.TopologySpec { return nil }}, nil
+	}
+	for _, tp := range topologies {
+		if tp.Name == name {
+			return tp, nil
+		}
+	}
+	return Topology{}, fmt.Errorf("campaign: unknown topology %q", name)
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"reorder/internal/campaign"
+	"reorder/internal/stats"
+)
+
+// CongestionConfig parameterizes the routed-topology experiment: a campaign
+// over graph topologies whose only source of reordering is congestion —
+// background TCP flows contending for shared router queues and parallel
+// link bundles — measured by the paper's single-packet, dual-packet and
+// SACK-based (data transfer) techniques and cross-checked for agreement.
+type CongestionConfig struct {
+	// Topologies are registry names (default: every named topology,
+	// "p2p" control included).
+	Topologies []string
+	// Replicas is how many seeds per topology×test cell (default 8).
+	Replicas int
+	// Samples per probe (default 16).
+	Samples int
+	// Workers caps campaign parallelism (default: GOMAXPROCS).
+	Workers int
+	// Seed offsets the derived per-target seeds.
+	Seed uint64
+	// Confidence for the paired-difference agreement test (default 99.9%).
+	Confidence float64
+}
+
+// congestionTests are the techniques compared: single-packet, dual-packet
+// and the SACK-based data transfer test, per the acceptance scenario.
+var congestionTests = []string{"single", "dual", "transfer"}
+
+// CongestionCell aggregates one topology×test combination.
+type CongestionCell struct {
+	Topology string
+	Test     string
+	Targets  int // probes that produced a measurement
+	Excluded int // probes excluded (errors, IPID prevalidation)
+	// Reordering is the fraction of measurements with at least one
+	// reordered sample.
+	Reordering float64
+	// MeanFwdRate and MeanRevRate average the per-probe reordering rates.
+	MeanFwdRate, MeanRevRate float64
+}
+
+// CongestionReport is the experiment's output: per-cell reordering
+// incidence plus, per topology, the technique-agreement pairs.
+type CongestionReport struct {
+	Cells      []CongestionCell
+	Agreement  map[string][]AgreementPair
+	Confidence float64
+}
+
+// Cell returns the (topology, test) cell, if present.
+func (rep *CongestionReport) Cell(topology, test string) (CongestionCell, bool) {
+	for _, c := range rep.Cells {
+		if c.Topology == topology && c.Test == test {
+			return c, true
+		}
+	}
+	return CongestionCell{}, false
+}
+
+// WriteText prints the per-cell table and the per-topology agreement pairs.
+func (rep *CongestionReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "congestion-induced reordering over routed topologies (clean paths, cross-traffic only)\n")
+	fmt.Fprintf(w, "%-12s %-9s %7s %8s %10s %9s %9s\n",
+		"topology", "test", "targets", "excluded", "reordering", "fwd-rate", "rev-rate")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(w, "%-12s %-9s %7d %8d %9.0f%% %9.4f %9.4f\n",
+			c.Topology, c.Test, c.Targets, c.Excluded, c.Reordering*100, c.MeanFwdRate, c.MeanRevRate)
+	}
+	fmt.Fprintf(w, "\ntechnique agreement per topology (paired-difference @ %.1f%% confidence)\n", rep.Confidence*100)
+	fmt.Fprintf(w, "%-12s %-10s %-10s %-8s %6s %7s\n", "topology", "test-a", "test-b", "dir", "series", "null-ok")
+	for _, c := range rep.Cells {
+		// Emit each topology's pairs once, on its first cell.
+		if c.Test != congestionTests[0] {
+			continue
+		}
+		for _, p := range rep.Agreement[c.Topology] {
+			fmt.Fprintf(w, "%-12s %-10s %-10s %-8s %6d %7d\n",
+				c.Topology, p.TestA, p.TestB, p.Direction, p.Hosts, p.NullOK)
+		}
+	}
+}
+
+// RunCongestion executes the routed-topology experiment: enumerate
+// topology × test × replica targets over the clean impairment (so any
+// reordering is congestion's doing), probe them through the campaign
+// machinery, and compare technique verdicts per topology.
+func RunCongestion(cfg CongestionConfig) (*CongestionReport, error) {
+	if len(cfg.Topologies) == 0 {
+		cfg.Topologies = campaign.TopologyNames()
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 8
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 16
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.999
+	}
+	targets, err := campaign.Enumerate(campaign.EnumSpec{
+		Profiles:    []string{"freebsd4"},
+		Impairments: []string{"clean"},
+		Tests:       congestionTests,
+		Seeds:       cfg.Replicas,
+		BaseSeed:    cfg.Seed,
+		Topologies:  cfg.Topologies,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]campaign.TargetResult, 0, len(targets))
+	sink := campaign.FuncSink(func(r *campaign.TargetResult) error {
+		results = append(results, *r)
+		return nil
+	})
+	if _, err := campaign.Run(campaign.Config{
+		Targets: targets, Samples: cfg.Samples, Workers: cfg.Workers,
+		Sinks: []campaign.Sink{sink},
+	}); err != nil {
+		return nil, err
+	}
+
+	rep := &CongestionReport{Confidence: cfg.Confidence, Agreement: map[string][]AgreementPair{}}
+	// Replica-paired rate series per topology×test×direction: replica r of
+	// every technique probes the same scenario seed (deriveSeed excludes
+	// the test), so series index pairs are genuinely paired measurements.
+	type key struct{ topo, test string }
+	fwd := map[key][]float64{}
+	rev := map[key][]float64{}
+	for _, topo := range cfg.Topologies {
+		for _, test := range congestionTests {
+			cell := CongestionCell{Topology: topo, Test: test}
+			k := key{topo, test}
+			for _, r := range results {
+				if r.Topology != topo || r.Test != test {
+					continue
+				}
+				if r.Err != "" || r.DCTExcluded != "" {
+					cell.Excluded++
+					// Keep series index-aligned across techniques: a missing
+					// replica measurement pairs as NaN-free zero-rate, which
+					// the small replica counts here tolerate better than
+					// misaligned pairs.
+					fwd[k] = append(fwd[k], 0)
+					rev[k] = append(rev[k], 0)
+					continue
+				}
+				cell.Targets++
+				if r.AnyReordering {
+					cell.Reordering++
+				}
+				cell.MeanFwdRate += r.FwdRate
+				cell.MeanRevRate += r.RevRate
+				fwd[k] = append(fwd[k], r.FwdRate)
+				rev[k] = append(rev[k], r.RevRate)
+			}
+			if cell.Targets > 0 {
+				cell.Reordering /= float64(cell.Targets)
+				cell.MeanFwdRate /= float64(cell.Targets)
+				cell.MeanRevRate /= float64(cell.Targets)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+
+	for _, topo := range cfg.Topologies {
+		var pairs []AgreementPair
+		for i, a := range congestionTests {
+			for _, b := range congestionTests[i+1:] {
+				for _, dir := range []string{"forward", "reverse"} {
+					if dir == "forward" && (a == "transfer" || b == "transfer") {
+						continue // the transfer test has no forward direction
+					}
+					series := fwd
+					if dir == "reverse" {
+						series = rev
+					}
+					sa, sb := series[key{topo, a}], series[key{topo, b}]
+					n := min(len(sa), len(sb))
+					if n < 3 {
+						continue
+					}
+					pair := AgreementPair{TestA: a, TestB: b, Direction: dir, Hosts: 1}
+					if stats.PairDifference(sa[:n], sb[:n], cfg.Confidence).NullSupported {
+						pair.NullOK = 1
+					}
+					pairs = append(pairs, pair)
+				}
+			}
+		}
+		rep.Agreement[topo] = pairs
+	}
+	return rep, nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"reorder/internal/campaign"
 	"reorder/internal/core"
 	"reorder/internal/host"
 	"reorder/internal/simnet"
@@ -26,6 +27,10 @@ type ValidationConfig struct {
 	Samples int
 	// Seed makes the report reproducible.
 	Seed uint64
+	// Workers caps the parallel runs (default: GOMAXPROCS). Each run is
+	// hermetic — its own scenario and prober derive from its seed alone —
+	// so the report is identical at any worker count.
+	Workers int
 }
 
 // DefaultValidation returns the paper's full grid: 36 rate combinations
@@ -120,22 +125,53 @@ func (rep *ValidationReport) WriteText(w io.Writer) {
 		f, v, rep.CorrectFraction()*100)
 }
 
-// RunValidation executes E1.
+// validationSpec is one grid cell waiting to run: the flattened form of
+// the historical nested loops, in the exact order (and with the exact
+// seed sequence) they used to execute in.
+type validationSpec struct {
+	test     string
+	fwd, rev float64
+	seed     uint64
+}
+
+// RunValidation executes E1. The grid runs through the campaign span
+// scheduler — each cell is hermetic, so cells parallelize freely — and the
+// report lists cells in the same order the old sequential loops produced.
 func RunValidation(cfg ValidationConfig) *ValidationReport {
-	rep := &ValidationReport{}
+	var specs []validationSpec
 	seed := cfg.Seed
 	for _, fr := range cfg.Rates {
 		for _, rr := range cfg.Rates {
 			for _, test := range []string{"single", "dual", "syn"} {
 				seed++
-				rep.Runs = append(rep.Runs, validateRun(test, fr, rr, cfg.Samples, seed))
+				specs = append(specs, validationSpec{test: test, fwd: fr, rev: rr, seed: seed})
 			}
 		}
 	}
 	// Data transfer: reverse-only manipulation, per the paper.
 	for _, rr := range cfg.Rates {
 		seed++
-		rep.Runs = append(rep.Runs, validateTransferRun(rr, cfg.Samples, seed))
+		specs = append(specs, validationSpec{test: "transfer", rev: rr, seed: seed})
+	}
+
+	rep := &ValidationReport{Runs: make([]ValidationRun, len(specs))}
+	sched := campaign.NewScheduler(campaign.SchedulerConfig{Workers: cfg.Workers})
+	// Job results land at their own index, so emit order is irrelevant;
+	// RunSpans still requires an emit hook, hence the no-op.
+	err := sched.RunSpans(0, len(specs), nil,
+		func(worker, i, attempt int) error {
+			sp := specs[i]
+			if sp.test == "transfer" {
+				rep.Runs[i] = validateTransferRun(sp.rev, cfg.Samples, sp.seed)
+			} else {
+				rep.Runs[i] = validateRun(sp.test, sp.fwd, sp.rev, cfg.Samples, sp.seed)
+			}
+			return nil
+		},
+		func(lo, hi int) error { return nil })
+	if err != nil {
+		// Jobs never return errors; a scheduler failure here is a bug.
+		panic("experiments: validation scheduler failed: " + err.Error())
 	}
 	for _, r := range rep.Runs {
 		rep.TotalSamples += 2 * r.Samples // one verdict per direction

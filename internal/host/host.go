@@ -82,7 +82,15 @@ func New(loop *sim.Loop, p Profile, addr netip.Addr, rng *sim.Rand, ids *netem.F
 // The caller is expected to reuse hosts for profiles of the same name (so
 // stack shape matches), though any profile is handled correctly.
 func (h *Host) Reset(p Profile, rng *sim.Rand, out netem.Node) {
+	h.ResetAt(p, h.addr, rng, out)
+}
+
+// ResetAt is Reset with an address rebind. Topology-graph scenarios pool
+// hosts by profile name and place them at build-assigned addresses, so a
+// reused host (and its stack) must demultiplex on the new address.
+func (h *Host) ResetAt(p Profile, addr netip.Addr, rng *sim.Rand, out netem.Node) {
 	h.profile = p.Name
+	h.addr = addr
 	h.out = out
 	h.icmp = p.ICMP
 	h.tokens = float64(p.ICMP.RatePerSec)
@@ -93,7 +101,7 @@ func (h *Host) Reset(p Profile, rng *sim.Rand, out netem.Node) {
 	rng.ForkInto(h.ipidRng, forkIPID)
 	h.gen = p.IPID(h.ipidRng)
 	rng.ForkInto(h.isnRng, forkISN)
-	h.Stack.Reset(p.TCP, h.gen, out)
+	h.Stack.ResetAt(p.TCP, addr, h.gen, out)
 	for _, port := range p.Ports {
 		h.Stack.Listen(port)
 	}

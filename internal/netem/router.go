@@ -1,0 +1,100 @@
+package netem
+
+import (
+	"net/netip"
+)
+
+// Router is a graph-topology forwarding node: frames are classified by
+// destination address against a per-destination forwarding table and handed
+// to one port of the matched route's port group. A port group models a set
+// of parallel equal-cost egress interfaces (typically queue-limited Links
+// sharing one far end); groups with more than one port spray frames
+// per-packet round-robin across them — the load-balancing discipline that
+// turns uneven queue occupancy into *emergent* reordering, exactly the
+// "packet-level parallelism inside the network" cause the paper attributes
+// field reordering to. The router itself schedules nothing and holds no
+// queue: all queueing delay and droptail loss live in the Link elements
+// behind its ports, so congestion effects are a product of traffic, not of
+// a configured probability.
+//
+// The spray counter is shared per group across every flow routed through
+// it, which is what makes two back-to-back probe packets take different
+// physical links whenever any cross-traffic interleaves them.
+type Router struct {
+	stats  Counters
+	routes []route
+	groups [][]Node
+	rr     []uint32
+}
+
+// route maps one destination address to a port-group index. Tables are tiny
+// (one entry per endpoint), so a linear scan beats a map on the hot path.
+type route struct {
+	dst   netip.Addr
+	group int
+}
+
+// NewRouter returns an empty router; frames drop until routes are added.
+func NewRouter() *Router { return &Router{} }
+
+// Reinit clears the forwarding table, port groups and counters for reuse in
+// a rebuilt topology, retaining the table and group-list storage.
+func (r *Router) Reinit() {
+	r.stats = Counters{}
+	r.routes = r.routes[:0]
+	r.groups = r.groups[:0]
+	r.rr = r.rr[:0]
+}
+
+// AddGroup registers a port group of parallel equal-cost egress ports and
+// returns its index for AddRoute. Multi-port groups forward round-robin,
+// starting at the first port.
+func (r *Router) AddGroup(ports ...Node) int {
+	if len(ports) == 0 {
+		panic("netem: router port group needs at least one port")
+	}
+	r.groups = append(r.groups, ports)
+	r.rr = append(r.rr, 0)
+	return len(r.groups) - 1
+}
+
+// AddRoute directs frames for dst to the port group at index group. Later
+// routes for the same destination shadow earlier ones only if added first;
+// callers build tables once per topology, so duplicates are a spec bug.
+func (r *Router) AddRoute(dst netip.Addr, group int) {
+	if group < 0 || group >= len(r.groups) {
+		panic("netem: router route references unknown port group")
+	}
+	r.routes = append(r.routes, route{dst: dst, group: group})
+}
+
+// Stats returns a snapshot of the router's counters. Dropped counts frames
+// with no matching route (or no classifiable destination).
+func (r *Router) Stats() Counters { return r.stats }
+
+// Input implements Node. Classification uses the frame's cached flow key
+// when a view is attached (no wire-byte materialization), falling back to a
+// PeekFlow over the wire bytes.
+func (r *Router) Input(f *Frame) {
+	r.stats.In++
+	k, ok := f.Flow()
+	if !ok {
+		r.stats.Dropped++
+		return
+	}
+	for i := range r.routes {
+		if r.routes[i].dst == k.Dst {
+			g := r.routes[i].group
+			ports := r.groups[g]
+			port := ports[0]
+			if len(ports) > 1 {
+				port = ports[int(r.rr[g])%len(ports)]
+				r.rr[g]++
+			}
+			r.stats.Out++
+			port.Input(f)
+			return
+		}
+	}
+	r.stats.Dropped++ // no route to host
+}

@@ -13,6 +13,7 @@ import (
 	"reorder/internal/host"
 	"reorder/internal/netem"
 	"reorder/internal/sim"
+	"reorder/internal/tcpsender"
 	"reorder/internal/trace"
 )
 
@@ -69,6 +70,14 @@ type Config struct {
 	Seed uint64
 	// Forward and Reverse are the path impairments in each direction.
 	Forward, Reverse PathSpec
+	// Topology, when it describes a routed graph (at least one router),
+	// replaces the point-to-point wiring: the probe and server attach to
+	// routers through their access paths (Forward/Reverse still apply to
+	// the probe's access), and cross-traffic hosts, flows and shared
+	// bottleneck links live between them. A nil or empty Topology is the
+	// degenerate two-node case — the same constructor builds the classic
+	// prober↔target pipe, byte-identically.
+	Topology *TopologySpec
 	// Server is the host profile. Ignored if Backends is non-empty.
 	Server host.Profile
 	// Backends, when non-empty, places a transparent load balancer in
@@ -97,11 +106,19 @@ type Net struct {
 	// ProbeEgress sees forward-path packets as the probe sends them.
 	ProbeEgress, HostIngress, HostEgress, ProbeIngress *trace.Capture
 
-	// Hosts are the servers behind the published address.
+	// Hosts are the servers behind the published address. In a topology
+	// graph they are followed by the graph's cross-traffic hosts, in spec
+	// order.
 	Hosts []*host.Host
 
 	// LB is the load balancer, if the scenario has one.
 	LB *netem.LoadBalancer
+
+	// Routers and Senders are the topology graph's forwarding nodes and
+	// cross-traffic sources, in spec order; empty for point-to-point
+	// scenarios.
+	Routers []*netem.Router
+	Senders []*tcpsender.Sender
 
 	probe      *Probe
 	endpoint   netem.Node // event-driven replacement for the probe inbox
@@ -148,6 +165,13 @@ type topoPool struct {
 	freeARQs, usedARQs               []elemRng[*netem.ARQLink]
 	freePriorities, usedPriorities   []*netem.PriorityQueue
 	freeFragmenters, usedFragmenters []*netem.Fragmenter
+	freeRouters, usedRouters         []*netem.Router
+	freeSenders, usedSenders         []senderEntry
+
+	// graph holds the topology builder's reusable scratch (next-hop
+	// tables, BFS queues), so rebuilding a routed graph per Reset stays
+	// cheap.
+	graph graphScratch
 
 	// hosts are pooled by profile name so a reused host's stack shape
 	// matches the profile it is reset to (several identically named
@@ -190,6 +214,10 @@ func (p *topoPool) recycle() {
 	p.usedPriorities = p.usedPriorities[:0]
 	p.freeFragmenters = append(p.freeFragmenters, p.usedFragmenters...)
 	p.usedFragmenters = p.usedFragmenters[:0]
+	p.freeRouters = append(p.freeRouters, p.usedRouters...)
+	p.usedRouters = p.usedRouters[:0]
+	p.freeSenders = append(p.freeSenders, p.usedSenders...)
+	p.usedSenders = p.usedSenders[:0]
 	if len(p.usedHosts) > 0 && p.freeHosts == nil {
 		p.freeHosts = make(map[string][]elemRng[*host.Host])
 	}
@@ -242,6 +270,8 @@ func (n *Net) Reset(cfg Config) {
 	n.ProbeIngress.Reset()
 	n.Hosts = n.Hosts[:0]
 	n.LB = nil
+	n.Routers = n.Routers[:0]
+	n.Senders = n.Senders[:0]
 	n.endpoint = nil
 	n.probe.reset()
 	n.pool.recycle()
@@ -270,20 +300,41 @@ func (n *Net) build(cfg Config) {
 		return n.getTap(c, next)
 	}
 
-	// Reverse direction: host egress tap -> reverse path -> probe ingress
-	// tap -> probe inbox.
 	if n.probeSink == nil {
 		n.probeSink = netem.NodeFunc(func(f *netem.Frame) { n.probe.deliver(f) })
 	}
+
+	// Routed graphs take the topology builder; everything else — including
+	// an explicit empty TopologySpec, the degenerate two-node case — is the
+	// classic point-to-point pipe.
+	if cfg.Topology.isGraph() {
+		n.buildGraph(cfg, rng, tap)
+		return
+	}
+
+	// Reverse direction: host egress tap -> reverse path -> probe ingress
+	// tap -> probe inbox.
 	revEntry := n.buildPath(n.pathRng(1, 2, rng), cfg.Reverse.defaults(), tap(n.ProbeIngress, n.probeSink))
 	hostOut := tap(n.HostEgress, revEntry)
 
-	// Servers.
-	var serverSide netem.Node
+	serverSide := n.buildServers(cfg, rng, hostOut)
+
+	// Forward direction: probe egress tap -> forward path -> host ingress
+	// tap -> server side.
+	fwdEntry := n.buildPath(n.pathRng(0, 1, rng), cfg.Forward.defaults(), tap(n.HostIngress, serverSide))
+	n.probe.egress = tap(n.ProbeEgress, fwdEntry)
+}
+
+// buildServers constructs the published-address endpoint — one host, or a
+// load balancer fronting the backend pool — transmitting into hostOut, and
+// returns the node forward-path traffic terminates at. Shared verbatim by
+// the point-to-point and graph builders so both consume the build stream
+// identically.
+func (n *Net) buildServers(cfg Config, rng *sim.Rand, hostOut netem.Node) netem.Node {
 	if len(cfg.Backends) > 0 {
 		backends := n.pool.lbBackends[:0]
 		for i, p := range cfg.Backends {
-			h := n.getHost(p, rng, uint64(100+i), hostOut)
+			h := n.getHost(p, n.serverAddr, rng, uint64(100+i), hostOut)
 			n.Hosts = append(n.Hosts, h)
 			backends = append(backends, h)
 		}
@@ -294,17 +345,11 @@ func (n *Net) build(cfg Config) {
 			n.pool.lb.Reinit(cfg.LBMode, backends)
 		}
 		n.LB = n.pool.lb
-		serverSide = n.LB
-	} else {
-		h := n.getHost(cfg.Server, rng, 100, hostOut)
-		n.Hosts = append(n.Hosts, h)
-		serverSide = h
+		return n.LB
 	}
-
-	// Forward direction: probe egress tap -> forward path -> host ingress
-	// tap -> server side.
-	fwdEntry := n.buildPath(n.pathRng(0, 1, rng), cfg.Forward.defaults(), tap(n.HostIngress, serverSide))
-	n.probe.egress = tap(n.ProbeEgress, fwdEntry)
+	h := n.getHost(cfg.Server, n.serverAddr, rng, 100, hostOut)
+	n.Hosts = append(n.Hosts, h)
+	return h
 }
 
 // pathRng returns the per-direction construction stream idx, forked from
@@ -330,21 +375,22 @@ func (n *Net) getTap(c *trace.Capture, next netem.Node) netem.Node {
 	return t
 }
 
-// getHost returns a host for profile p transmitting to out — a pooled one
-// of the same profile name reset in place when available, else a fresh
-// build. Either way it consumes one draw of rng (the host's build fork).
-func (n *Net) getHost(p host.Profile, rng *sim.Rand, label uint64, out netem.Node) *host.Host {
+// getHost returns a host for profile p at addr transmitting to out — a
+// pooled one of the same profile name rebound in place when available, else
+// a fresh build. Either way it consumes one draw of rng (the host's build
+// fork).
+func (n *Net) getHost(p host.Profile, addr netip.Addr, rng *sim.Rand, label uint64, out netem.Node) *host.Host {
 	if free := n.pool.freeHosts[p.Name]; len(free) > 0 {
 		hr := free[len(free)-1]
 		n.pool.freeHosts[p.Name] = free[:len(free)-1]
 		rng.ForkInto(hr.rng, label)
-		hr.el.Reset(p, hr.rng, out)
+		hr.el.ResetAt(p, addr, hr.rng, out)
 		hr.el.SetArena(n.arena)
 		n.pool.usedHosts = append(n.pool.usedHosts, hr)
 		return hr.el
 	}
 	child := rng.Fork(label)
-	h := host.New(n.Loop, p, n.serverAddr, child, n.IDs, out)
+	h := host.New(n.Loop, p, addr, child, n.IDs, out)
 	h.SetArena(n.arena)
 	n.pool.usedHosts = append(n.pool.usedHosts, elemRng[*host.Host]{el: h, rng: child})
 	return h

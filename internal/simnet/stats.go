@@ -57,6 +57,9 @@ func (n *Net) Stats() Stats {
 	for _, e := range p.usedFragmenters {
 		s.add(e.Stats())
 	}
+	for _, e := range p.usedRouters {
+		s.add(e.Stats())
+	}
 	if n.LB != nil {
 		s.add(n.LB.Stats())
 	}

@@ -176,6 +176,32 @@ func New(loop *sim.Loop, cfg Config, local, remote netip.Addr, ids *netem.FrameI
 	return s
 }
 
+// Reset returns the sender to the state New(loop, cfg, local, remote, ids,
+// rng, out) would produce, reusing the struct's scratch buffers, send-times
+// map and cached RTO callback — the pooling hook scenario owners use to
+// reuse cross-traffic senders across topology rebuilds. The caller must
+// have Reset the shared loop first (which invalidates any pending RTO
+// timer; the zero Timer left here is inert) and is expected to re-point the
+// arena with SetArena, as at construction.
+func (s *Sender) Reset(cfg Config, local, remote netip.Addr, rng *sim.Rand, out netem.Node) {
+	cfg = cfg.Defaults()
+	s.cfg, s.local, s.remote = cfg, local, remote
+	s.lport, s.out, s.rng = 41000, out, rng
+	s.st = stateClosed
+	s.iss, s.rcvNxt, s.sndUna, s.sndNxt, s.end = 0, 0, 0, 0, 0
+	s.cwnd, s.ssthresh, s.peerWnd = 0, 0, 0
+	s.dupThresh, s.dupAcks = cfg.DupThresh, 0
+	s.inRecovery, s.recover = false, 0
+	s.rtoTimer = sim.Timer{}
+	s.rtoBackoff = 0
+	s.minRTT = time.Hour
+	clear(s.sendTimes)
+	s.lastRexmitAt, s.lastRexmit, s.rexmitLive = 0, 0, false
+	s.started, s.finished = 0, 0
+	s.stats = Stats{}
+	s.onDone = nil
+}
+
 // OnDone registers a completion callback.
 func (s *Sender) OnDone(fn func()) { s.onDone = fn }
 

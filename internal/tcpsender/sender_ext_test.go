@@ -1,4 +1,4 @@
-package tcpsender
+package tcpsender_test
 
 import (
 	"testing"
@@ -7,14 +7,15 @@ import (
 	"reorder/internal/host"
 	"reorder/internal/sim"
 	"reorder/internal/simnet"
+	"reorder/internal/tcpsender"
 )
 
 // run wires a sender into a scenario and drives the simulation until the
 // transfer completes or the virtual deadline passes.
-func run(t *testing.T, cfg Config, sc simnet.Config, deadline time.Duration) (*Sender, Stats) {
+func run(t *testing.T, cfg tcpsender.Config, sc simnet.Config, deadline time.Duration) (*tcpsender.Sender, tcpsender.Stats) {
 	t.Helper()
 	n := simnet.New(sc)
-	s := New(n.Loop, cfg, n.ProbeAddr(), n.ServerAddr(), n.IDs, sim.NewRand(sc.Seed^0x5e4d, 7), nil)
+	s := tcpsender.New(n.Loop, cfg, n.ProbeAddr(), n.ServerAddr(), n.IDs, sim.NewRand(sc.Seed^0x5e4d, 7), nil)
 	s.SetOutput(n.AttachEndpoint(s))
 	s.Start()
 	n.Loop.RunUntil(sim.Time(deadline))
@@ -26,7 +27,7 @@ func cleanScenario(seed uint64) simnet.Config {
 }
 
 func TestTransferCompletesCleanPath(t *testing.T) {
-	cfg := Config{Bytes: 128 << 10}
+	cfg := tcpsender.Config{Bytes: 128 << 10}
 	s, st := run(t, cfg, cleanScenario(1), 30*time.Second)
 	if !s.Done() {
 		t.Fatalf("transfer incomplete: %+v", st)
@@ -51,7 +52,7 @@ func TestSlowStartGrowth(t *testing.T) {
 	// With initial cwnd 2 and a clean path, early progress doubles per
 	// RTT; just assert the transfer is not stuck at one segment per RTT:
 	// 64 KiB in well under 44 RTTs (=64KiB/1460).
-	cfg := Config{Bytes: 64 << 10}
+	cfg := tcpsender.Config{Bytes: 64 << 10}
 	s, st := run(t, cfg, cleanScenario(2), 30*time.Second)
 	if !s.Done() {
 		t.Fatal("incomplete")
@@ -63,7 +64,7 @@ func TestSlowStartGrowth(t *testing.T) {
 }
 
 func TestLossTriggersRecoveryAndCompletes(t *testing.T) {
-	cfg := Config{Bytes: 96 << 10}
+	cfg := tcpsender.Config{Bytes: 96 << 10}
 	sc := cleanScenario(3)
 	sc.Forward.Loss = 0.02
 	s, st := run(t, cfg, sc, 120*time.Second)
@@ -82,7 +83,7 @@ func TestReorderingCausesSpuriousFastRetransmit(t *testing.T) {
 	// The paper's motivating pathology: a loss-free path that reorders
 	// deeply (L2 ARQ) makes Reno fast-retransmit fire spuriously and
 	// halve cwnd.
-	cfg := Config{Bytes: 96 << 10}
+	cfg := tcpsender.Config{Bytes: 96 << 10}
 	sc := cleanScenario(4)
 	sc.Forward.SwapProb = 0.15
 	s, st := run(t, cfg, sc, 120*time.Second)
@@ -105,7 +106,7 @@ func TestReorderingCausesSpuriousFastRetransmit(t *testing.T) {
 }
 
 func TestReorderingDegradesThroughput(t *testing.T) {
-	cfg := Config{Bytes: 128 << 10}
+	cfg := tcpsender.Config{Bytes: 128 << 10}
 	base := cleanScenario(6)
 	base.Forward.LinkRate = 100_000_000
 	_, clean := run(t, cfg, base, 240*time.Second)
@@ -123,8 +124,8 @@ func TestAdaptiveDupThreshRecoversThroughput(t *testing.T) {
 	// The cited proposals' claim: raising dupthresh on detected spurious
 	// retransmissions restores much of the lost throughput on a
 	// reordering (loss-free) path.
-	mk := func(adaptive bool) Stats {
-		cfg := Config{Bytes: 128 << 10, Adaptive: adaptive}
+	mk := func(adaptive bool) tcpsender.Stats {
+		cfg := tcpsender.Config{Bytes: 128 << 10, Adaptive: adaptive}
 		sc := cleanScenario(7)
 		sc.Forward.LinkRate = 100_000_000
 		sc.Forward.Jitter = 3 * time.Millisecond
@@ -147,7 +148,7 @@ func TestAdaptiveDupThreshRecoversThroughput(t *testing.T) {
 }
 
 func TestSenderDefaults(t *testing.T) {
-	c := Config{}.Defaults()
+	c := tcpsender.Config{}.Defaults()
 	if c.MSS != 1460 || c.DupThresh != 3 || c.Port != 80 || c.InitialCwnd != 2 {
 		t.Fatalf("Defaults: %+v", c)
 	}
@@ -155,7 +156,7 @@ func TestSenderDefaults(t *testing.T) {
 
 func TestStatsBeforeStart(t *testing.T) {
 	n := simnet.New(cleanScenario(8))
-	s := New(n.Loop, Config{}, n.ProbeAddr(), n.ServerAddr(), n.IDs, sim.NewRand(1, 2), nil)
+	s := tcpsender.New(n.Loop, tcpsender.Config{}, n.ProbeAddr(), n.ServerAddr(), n.IDs, sim.NewRand(1, 2), nil)
 	s.SetOutput(n.AttachEndpoint(s))
 	st := s.Stats()
 	if st.BytesAcked != 0 || s.Done() {
@@ -172,7 +173,7 @@ func TestStatsBeforeStart(t *testing.T) {
 
 func TestSenderAbortsOnRST(t *testing.T) {
 	// Point the sender at a closed port: the server's RST must stop it.
-	cfg := Config{Bytes: 32 << 10, Port: 4444, RTO: 200 * time.Millisecond}
+	cfg := tcpsender.Config{Bytes: 32 << 10, Port: 4444, RTO: 200 * time.Millisecond}
 	s, st := run(t, cfg, cleanScenario(9), 10*time.Second)
 	if st.BytesAcked != 0 {
 		t.Fatalf("acked %d bytes against a closed port", st.BytesAcked)
@@ -184,7 +185,7 @@ func TestRTORecoversFromWindowLoss(t *testing.T) {
 	// A burst of heavy loss can eat an entire window including all
 	// dupack fodder: only the RTO can recover. 30% loss makes that
 	// likely; the transfer must still complete and count timeouts.
-	cfg := Config{Bytes: 32 << 10, RTO: 300 * time.Millisecond}
+	cfg := tcpsender.Config{Bytes: 32 << 10, RTO: 300 * time.Millisecond}
 	sc := cleanScenario(11)
 	sc.Forward.Loss = 0.3
 	sc.Reverse.Loss = 0.1
@@ -202,7 +203,7 @@ func TestRTOBackoffBounded(t *testing.T) {
 	// bounded, and the sender must keep trying rather than spin.
 	n := simnet.New(simnet.Config{Seed: 12, Server: host.FilteredICMP(host.FreeBSD4()),
 		Forward: simnet.PathSpec{Loss: 1.0}})
-	s := New(n.Loop, Config{Bytes: 4 << 10, RTO: 100 * time.Millisecond},
+	s := tcpsender.New(n.Loop, tcpsender.Config{Bytes: 4 << 10, RTO: 100 * time.Millisecond},
 		n.ProbeAddr(), n.ServerAddr(), n.IDs, sim.NewRand(1, 2), nil)
 	s.SetOutput(n.AttachEndpoint(s))
 	s.Start()

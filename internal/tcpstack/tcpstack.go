@@ -271,7 +271,15 @@ func (s *Stack) SetArena(a *netem.Arena) { s.arena = a }
 // way. Live connections are recycled; listening ports are cleared for the
 // caller to re-Listen.
 func (s *Stack) Reset(cfg Config, gen ipid.Generator, out netem.Node) {
+	s.ResetAt(cfg, s.addr, gen, out)
+}
+
+// ResetAt is Reset with an address rebind: topology-graph scenarios pool
+// hosts by profile and reassign addresses per build, so a reused stack must
+// answer at whatever address the new topology placed it.
+func (s *Stack) ResetAt(cfg Config, addr netip.Addr, gen ipid.Generator, out netem.Node) {
 	s.cfg = cfg.Defaults()
+	s.addr = addr
 	s.gen = gen
 	s.out = out
 	s.stats = Stats{}
