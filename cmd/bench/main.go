@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"reorder/internal/campaign"
+	"reorder/internal/campaign/dist"
 	"reorder/internal/cli"
 	"reorder/internal/netem"
 	"reorder/internal/obs"
@@ -48,6 +49,7 @@ type point struct {
 type record struct {
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu,omitempty"`
 	GitRev     string  `json:"git_rev,omitempty"`
 	Points     []point `json:"points"`
 	// WallSeconds is the wall-clock duration of the whole bench run, a
@@ -97,7 +99,50 @@ func gitRev() string {
 	return strings.TrimSpace(string(out))
 }
 
+// benchTargets is the canonical bench work list; the dist worker child
+// re-enumerates it so its campaign fingerprint matches the coordinator's.
+func benchTargets() ([]campaign.Target, error) {
+	return campaign.Enumerate(campaign.EnumSpec{
+		Impairments: []string{"clean", "swap-heavy"},
+		Seeds:       2,
+		BaseSeed:    11,
+	})
+}
+
+// parallelDegree extracts the parallelism a benchmark leg needs from its
+// name suffix (CampaignParallel-p4 → 4, CampaignDist-w2 → 2; 0 when the
+// leg has no such requirement). The regression gate skips legs whose
+// degree exceeds the host's CPU count: a 1-core runner repeating the
+// capped figure must not be held to a multi-core box's scaling numbers.
+func parallelDegree(name string) int {
+	for _, marker := range []string{"-p", "-w"} {
+		if i := strings.LastIndex(name, marker); i >= 0 {
+			n := 0
+			for _, r := range name[i+len(marker):] {
+				if r < '0' || r > '9' {
+					return 0
+				}
+				n = n*10 + int(r-'0')
+			}
+			if n > 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
 func run(args []string, stdout io.Writer) error {
+	// Dist worker child: the CampaignDist legs re-exec this binary with the
+	// coordinator address in the environment, before any flag handling.
+	if addr := os.Getenv("BENCH_DIST_WORKER"); addr != "" {
+		targets, err := benchTargets()
+		if err != nil {
+			return err
+		}
+		return dist.RunWorker(dist.WorkerConfig{Connect: addr, Targets: targets, Samples: 8})
+	}
+
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_probe.json", "benchmark history file (appended, not overwritten)")
 	maxRegression := fs.Float64("max-regression", 0,
@@ -106,11 +151,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	targets, err := campaign.Enumerate(campaign.EnumSpec{
-		Impairments: []string{"clean", "swap-heavy"},
-		Seeds:       2,
-		BaseSeed:    11,
-	})
+	targets, err := benchTargets()
 	if err != nil {
 		return err
 	}
@@ -136,7 +177,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	began := time.Now()
-	rec := record{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), GitRev: gitRev()}
+	rec := record{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU: runtime.NumCPU(), GitRev: gitRev()}
 	recordPoint := func(name string, perOpTargets int, bench func(b *testing.B)) {
 		res := testing.Benchmark(bench)
 		p := point{
@@ -303,6 +345,52 @@ func run(args []string, stdout io.Writer) error {
 		})
 	}
 
+	// CampaignDist: the distributed engine end to end — coordinator plus
+	// forked worker processes over TCP loopback, per iteration — so the
+	// history records what process distribution costs (fork, handshake,
+	// span leasing, payload streaming, exact merge) against the in-process
+	// legs above. On a single-core host the figure records coordination
+	// overhead only; the regression gate skips these legs there.
+	distBench := func(nWorkers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			exe, err := os.Executable()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				ln, err := dist.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr := ln.Addr().String()
+				cmds := make([]*exec.Cmd, 0, nWorkers)
+				for w := 0; w < nWorkers; w++ {
+					cmd := exec.Command(exe)
+					cmd.Env = append(os.Environ(), "BENCH_DIST_WORKER="+addr)
+					cmd.Stderr = os.Stderr
+					if err := cmd.Start(); err != nil {
+						b.Fatal(err)
+					}
+					cmds = append(cmds, cmd)
+				}
+				if _, err := dist.Serve(dist.Config{
+					Campaign:      campaign.Config{Targets: targets, Samples: 8},
+					Listener:      ln,
+					ExpectWorkers: nWorkers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				for _, cmd := range cmds {
+					if err := cmd.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	recordPoint("CampaignDist-w2", len(targets), distBench(2))
+	recordPoint("CampaignDist-w4", len(targets), distBench(4))
+
 	// CampaignAggregator: aggregation cost isolated from probe cost, over
 	// the same synthetic workload BenchmarkCampaignAggregator measures.
 	results := campaign.SyntheticResults(10_000)
@@ -340,6 +428,9 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		for _, p := range rec.Points {
+			if d := parallelDegree(p.Name); d > runtime.NumCPU() {
+				continue // a leg needing more cores than the host has
+			}
 			b, ok := best[p.Name]
 			if !ok || b <= 0 {
 				continue // no prior baseline for this point

@@ -12,14 +12,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"reorder/internal/campaign"
+	"reorder/internal/campaign/dist"
 	"reorder/internal/cli"
 	"reorder/internal/experiments"
 	"reorder/internal/obs"
@@ -59,6 +63,12 @@ func run(args []string, stdout io.Writer) error {
 		listen       = fs.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /campaign/progress, /debug/pprof); \":0\" picks a free port")
 		tracePath    = fs.String("trace", "", "write a structured JSONL run trace (span lifecycle, retries, checkpoints) to this path")
 		statsReport  = fs.Bool("stats", false, "append a telemetry report (scheduler, probe latency, sim, netem, sinks) to the summary")
+		workerMode   = fs.Bool("worker", false, "run as a distributed campaign worker: probe spans leased by the coordinator at -connect (enumeration flags must match the coordinator's)")
+		connect      = fs.String("connect", "", "coordinator address for -worker (host:port, or a unix socket path)")
+		coordinate   = fs.String("coordinate", "", "run as a distributed campaign coordinator listening on this address; workers connect with -worker -connect")
+		spawnN       = fs.Int("spawn", 0, "coordinate and fork this many local worker processes over an auto-created unix socket (combine with -coordinate to also accept remote workers)")
+		expectN      = fs.Int("expect", 0, "worker processes expected to connect; sizes the per-worker rate-budget split and dispatch window (default: -spawn count, else 1)")
+		leaseTimeout = fs.Duration("lease-timeout", 0, "re-issue a silent worker's leased spans after this long (default 15s)")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -149,6 +159,29 @@ func run(args []string, stdout io.Writer) error {
 	if *listTargets {
 		return campaign.WriteTargets(stdout, targets)
 	}
+
+	if *workerMode {
+		if *connect == "" {
+			return fmt.Errorf("campaign: -worker requires -connect")
+		}
+		if *coordinate != "" || *spawnN > 0 {
+			return fmt.Errorf("campaign: -worker is mutually exclusive with -coordinate/-spawn")
+		}
+		// Ctrl+C reaches the whole process group; the coordinator owns the
+		// drain, so the worker ignores the interrupt and finishes its
+		// in-flight span instead of dying with the lease.
+		signal.Ignore(os.Interrupt)
+		return dist.RunWorker(dist.WorkerConfig{
+			Connect: *connect,
+			Targets: targets,
+			Samples: *samples,
+			Obs:     obs.NewCampaign(1),
+		})
+	}
+	if *connect != "" {
+		return fmt.Errorf("campaign: -connect requires -worker")
+	}
+	distMode := *coordinate != "" || *spawnN > 0
 
 	if *forceRestart {
 		if *resume {
@@ -254,7 +287,51 @@ func run(args []string, stdout io.Writer) error {
 	cfg.Interrupt = interrupt
 
 	began := time.Now()
-	sum, err := campaign.Run(cfg)
+	var sum *campaign.Summary
+	var err error
+	workersDesc := fmt.Sprintf("%d workers", cfg.Workers)
+	if distMode {
+		expect := *expectN
+		if expect <= 0 {
+			expect = *spawnN
+		}
+		if expect <= 0 {
+			expect = 1
+		}
+		// Workers re-enumerate the target list from their own flags (the
+		// fingerprint handshake proves both sides agree), so the child argv
+		// carries exactly the enumeration knobs — never the coordinator-owned
+		// sink, checkpoint or schedule flags.
+		var childArgs []string
+		if *targetsPath != "" {
+			childArgs = append(childArgs, "-targets", *targetsPath)
+		} else {
+			if *profiles != "" {
+				childArgs = append(childArgs, "-profiles", *profiles)
+			}
+			if *impairments != "" {
+				childArgs = append(childArgs, "-impairments", *impairments)
+			}
+			if *tests != "" {
+				childArgs = append(childArgs, "-tests", *tests)
+			}
+			if *seeds != 0 {
+				childArgs = append(childArgs, "-seeds", strconv.Itoa(*seeds))
+			}
+			childArgs = append(childArgs, "-seed", strconv.FormatUint(*baseSeed, 10))
+			if *topologies != "" {
+				childArgs = append(childArgs, "-topology", *topologies)
+			}
+			if *quick {
+				childArgs = append(childArgs, "-quick")
+			}
+		}
+		childArgs = append(childArgs, "-samples", strconv.Itoa(*samples))
+		sum, err = runCoordinator(cfg, *coordinate, *spawnN, expect, *batch, *window, *leaseTimeout, childArgs)
+		workersDesc = fmt.Sprintf("%d worker procs expected", expect)
+	} else {
+		sum, err = campaign.Run(cfg)
+	}
 	if cerr := trace.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -264,8 +341,8 @@ func run(args []string, stdout io.Writer) error {
 	// The summary itself is deterministic; throughput goes to stderr so
 	// stdout stays byte-reproducible for a fixed seed.
 	elapsed := time.Since(began)
-	fmt.Fprintf(os.Stderr, "campaign: %d targets in %v (%.0f targets/s, %d workers)\n",
-		sum.Targets, elapsed.Round(time.Millisecond), float64(sum.Targets)/elapsed.Seconds(), cfg.Workers)
+	fmt.Fprintf(os.Stderr, "campaign: %d targets in %v (%.0f targets/s, %s)\n",
+		sum.Targets, elapsed.Round(time.Millisecond), float64(sum.Targets)/elapsed.Seconds(), workersDesc)
 	sum.WriteText(stdout)
 	if *statsReport {
 		// Opt-in: the telemetry block carries wall-clock timings, so the
@@ -273,6 +350,60 @@ func run(args []string, stdout io.Writer) error {
 		reg.Snapshot().WriteText(stdout)
 	}
 	return nil
+}
+
+// runCoordinator runs the distributed-campaign coordinator: listen (on an
+// auto-created unix socket when no address was given), fork local workers
+// when asked, serve the lease protocol, and reap the children. Worker
+// failures after a successful run are advisory — their leases were
+// re-issued and the output is complete.
+func runCoordinator(cfg campaign.Config, addr string, spawnN, expect, spanSize, window int,
+	leaseTimeout time.Duration, childArgs []string) (*campaign.Summary, error) {
+	if addr == "" {
+		dir, err := os.MkdirTemp("", "campaign-dist-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		addr = filepath.Join(dir, "coord.sock")
+	}
+	ln, err := dist.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	fmt.Fprintf(os.Stderr, "campaign: coordinating on %s\n", addr)
+	var cmds []*exec.Cmd
+	if spawnN > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		args := append([]string{"-worker", "-connect", addr}, childArgs...)
+		cmds, err = dist.Spawn(spawnN, exe, args, os.Stderr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sum, err := dist.Serve(dist.Config{
+		Campaign:      cfg,
+		Listener:      ln,
+		SpanSize:      spanSize,
+		Window:        window,
+		LeaseTimeout:  leaseTimeout,
+		ExpectWorkers: expect,
+		Log:           os.Stderr,
+	})
+	if err != nil {
+		// A failed serve may leave children blocked on a dead socket.
+		for _, c := range cmds {
+			c.Process.Kill()
+		}
+	}
+	if werr := dist.WaitWorkers(cmds); werr != nil && err == nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v (its leases were re-issued; output is complete)\n", werr)
+	}
+	return sum, err
 }
 
 // archiveFile moves path aside to the first free <path>.oldN name, so a

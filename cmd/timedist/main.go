@@ -25,6 +25,7 @@ func run(args []string, stdout io.Writer) error {
 		plot       = fs.Bool("plot", true, "render an ASCII plot of the curve")
 		mechanisms = fs.Bool("mechanisms", false, "compare the gap signatures of trunk striping, multi-path routing and L2 ARQ (E8)")
 		csvPath    = fs.String("csv", "", "also write the curve(s) as CSV to this path")
+		workers    = fs.Int("workers", 0, "concurrent sweep points (0 = default pool); output is identical at any worker count")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -35,6 +36,7 @@ func run(args []string, stdout io.Writer) error {
 		if *quick {
 			mcfg = experiments.QuickMechanisms()
 		}
+		mcfg.Workers = *workers
 		rep, err := experiments.RunMechanisms(mcfg)
 		if err != nil {
 			return err
@@ -53,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	if *samples > 0 {
 		cfg.SamplesPerPoint = *samples
 	}
+	cfg.Workers = *workers
 	rep, err := experiments.RunGapSweep(cfg)
 	if err != nil {
 		return err

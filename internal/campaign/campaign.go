@@ -148,54 +148,23 @@ func (c Config) schedulerConfig() SchedulerConfig {
 // do not change a single byte.
 func Run(cfg Config) (*Summary, error) {
 	cfg = cfg.defaults()
-	if len(cfg.Targets) == 0 {
-		return nil, fmt.Errorf("campaign: no targets")
-	}
 	sched := NewScheduler(cfg.schedulerConfig())
 	agg := NewAggregator(sched.Workers())
 
-	fp := Fingerprint(cfg.Targets, cfg.Samples)
-	start := 0
-	var replayed []*TargetResult
-	if cfg.Resume && cfg.CheckpointPath == "" {
-		// Without this guard a forgotten -checkpoint would silently fall
-		// through to a fresh run and truncate the prior output.
-		return nil, fmt.Errorf("campaign: Resume requires CheckpointPath")
-	}
-	if cfg.Resume {
-		ck, err := LoadCheckpoint(cfg.CheckpointPath)
-		if err == nil {
-			if ck.Fingerprint != fp {
-				return nil, fmt.Errorf("campaign: checkpoint %s is for a different campaign (fingerprint %x != %x)",
-					cfg.CheckpointPath, ck.Fingerprint, fp)
-			}
-			replayed, err = replayOutput(cfg.OutputPath, ck.Done)
-			if err != nil {
-				return nil, err
-			}
-			start = ck.Done
-		} else if !os.IsNotExist(err) {
-			return nil, err
-		}
-	}
-	// Replayed results re-enter the aggregator through shard 0; shard
-	// ownership only matters for live workers.
-	for _, r := range replayed {
-		agg.Shard(0).Add(r)
-	}
-
-	sinks, err := openSinks(cfg, replayed)
+	// The Emitter owns everything downstream of the emit frontier —
+	// resume/replay, sinks, checkpoints, progress — shared verbatim with
+	// the distributed coordinator so both modes emit identical bytes.
+	em, err := NewEmitter(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	end := len(cfg.Targets)
-	if cfg.StopAfter > 0 && start+cfg.StopAfter < end {
-		end = start + cfg.StopAfter
+	// Replayed results re-enter the aggregator through shard 0; shard
+	// ownership only matters for live workers.
+	for _, r := range em.Replayed() {
+		agg.Shard(0).Add(r)
 	}
+	start, end := em.Start(), em.End()
 
-	ck := Checkpoint{Fingerprint: fp, Done: start}
-	emitted := start
 	// Each worker owns one ProbeArena: the scenario and prober are built
 	// once and re-seeded per target, which removes scenario construction
 	// from the per-target cost without changing a byte of output (arena
@@ -204,7 +173,7 @@ func Run(cfg Config) (*Summary, error) {
 	workers := make([]campaignWorker, sched.Workers())
 	for i := range workers {
 		workers[i].arena = NewProbeArena()
-		if sinks.csv != nil {
+		if em.HasCSV() {
 			workers[i].csvEnc = NewCSVRowEncoder()
 			if hasTopology(cfg.Targets) {
 				workers[i].csvEnc.IncludeTopology()
@@ -215,8 +184,7 @@ func Run(cfg Config) (*Summary, error) {
 			workers[i].arena.SetObserver(workers[i].obs)
 		}
 	}
-	cfg.Obs.StartRun(start, len(cfg.Targets))
-	cfg.Trace.RunStart(len(cfg.Targets), sched.Workers(), start)
+	em.StartRun(sched.Workers())
 
 	// The batch pipeline: a worker claims a span, checks a spanBatch out
 	// of the pool, renders each result into the batch's JSONL/CSV buffers
@@ -260,11 +228,11 @@ func Run(cfg Config) (*Summary, error) {
 				w.obs.Targets.Inc()
 			}
 			j0, c0 := len(b.json), len(b.csv)
-			if sinks.jsonl != nil {
+			if em.HasJSONL() {
 				b.json = res.AppendJSON(b.json)
 				b.json = append(b.json, '\n')
 			}
-			if sinks.csv != nil && b.err == nil {
+			if em.HasCSV() && b.err == nil {
 				// The first render failure sticks: emitting a batch
 				// with a silently missing row must be impossible.
 				b.csv, b.err = w.csvEnc.AppendRow(b.csv, res)
@@ -286,111 +254,25 @@ func Run(cfg Config) (*Summary, error) {
 			if b.err != nil {
 				return b.err
 			}
-			if sinks.jsonl != nil {
-				if err := sinks.jsonl.EmitBatch(b.json); err != nil {
-					return err
-				}
-				if cfg.Obs != nil {
-					cfg.Obs.Sinks.JSONLBatches.Inc()
-					cfg.Obs.Sinks.JSONLBytes.Add(uint64(len(b.json)))
-				}
+			// Extra sinks get per-result copies inside EmitSpan: batch
+			// slots are pooled and overwritten by later spans, and the
+			// Sink contract has always allowed retaining the record.
+			if err := em.EmitSpan(lo, hi, b.json, b.csv, b.results); err != nil {
+				return err
 			}
-			if sinks.csv != nil {
-				if err := sinks.csv.EmitBatch(b.csv); err != nil {
-					return err
-				}
-				if cfg.Obs != nil {
-					cfg.Obs.Sinks.CSVBatches.Inc()
-					cfg.Obs.Sinks.CSVBytes.Add(uint64(len(b.csv)))
-				}
-			}
-			// Caller-provided sinks get a per-result copy: batch slots
-			// are pooled and overwritten by later spans, and the Sink
-			// contract has always allowed retaining the record.
-			if len(sinks.extra) > 0 {
-				for i := range b.results {
-					r := b.results[i]
-					for _, s := range sinks.extra {
-						if err := s.Emit(&r); err != nil {
-							return err
-						}
-					}
-				}
-			}
-			prev := emitted
-			emitted = hi
 			pipe.put(b)
-			cfg.Trace.SpanEmit(lo, hi, emitted)
-			if cfg.CheckpointPath != "" &&
-				(emitted/cfg.CheckpointEvery > prev/cfg.CheckpointEvery || emitted == end) {
-				// Flush first: a checkpoint must never acknowledge
-				// results still sitting in a sink buffer, or a crash
-				// here would leave the output behind the checkpoint
-				// and the campaign unresumable. Checkpoints are batch-
-				// granular — one save per crossed CheckpointEvery
-				// boundary — with the exact final count preserved.
-				flushStart := time.Now()
-				for _, s := range sinks.all {
-					if err := s.Flush(); err != nil {
-						return err
-					}
-				}
-				ck.Done = emitted
-				if err := ck.Save(cfg.CheckpointPath); err != nil {
-					return err
-				}
-				flushNs := time.Since(flushStart).Nanoseconds()
-				if cfg.Obs != nil {
-					cfg.Obs.Sinks.FlushNanos.Observe(flushNs)
-					cfg.Obs.Sinks.Checkpoints.Inc()
-				}
-				cfg.Trace.Checkpoint(emitted, flushNs)
-			}
-			cfg.Obs.NoteProgress(emitted, len(cfg.Targets))
-			if cfg.Progress != nil {
-				cfg.Progress(emitted, len(cfg.Targets))
-			}
 			return nil
 		})
 	// A quiesced run stopped claiming spans before the cursor reached end;
-	// everything in flight drained and emitted in order. Persist the exact
-	// drain point so a resume continues — and completes — the campaign with
-	// byte-identical total output.
-	interrupted := false
-	if cfg.Interrupt != nil && err == nil && emitted < end {
-		select {
-		case <-cfg.Interrupt:
-			interrupted = true
-		default:
-		}
-	}
-	if interrupted {
-		cfg.Obs.NoteQuiesce()
-		cfg.Trace.Quiesce(emitted)
-		if cfg.CheckpointPath != "" && ck.Done != emitted {
-			for _, s := range sinks.all {
-				if ferr := s.Flush(); ferr != nil && err == nil {
-					err = ferr
-				}
-			}
-			if err == nil {
-				ck.Done = emitted
-				err = ck.Save(cfg.CheckpointPath)
-			}
-		}
-	}
-	// Close errors matter even on the success path: the final buffered
-	// results reach disk during Close, and a full disk must not yield a
-	// successful report over a truncated output file.
-	closeErr := closeAll(sinks.all)
-	if err == nil {
-		err = closeErr
-	}
+	// everything in flight drained and emitted in order. Finish persists
+	// the exact drain point so a resume continues — and completes — the
+	// campaign with byte-identical total output.
+	interrupted, err := em.Finish(err)
 	if err != nil {
-		cfg.Trace.RunEnd(emitted, interrupted, err.Error())
+		cfg.Trace.RunEnd(em.Emitted(), interrupted, err.Error())
 		return nil, err
 	}
-	cfg.Trace.RunEnd(emitted, interrupted, "")
+	cfg.Trace.RunEnd(em.Emitted(), interrupted, "")
 	sum := agg.Summary()
 	sum.Interrupted = interrupted
 	return sum, nil

@@ -1,0 +1,564 @@
+package dist
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"reorder/internal/campaign"
+	"reorder/internal/obs"
+)
+
+// testTargets replicates the campaign package's smallSpec: 24 targets
+// spanning the profile × impairment × test matrix, the same enumeration
+// the golden SHAs pin.
+func testTargets(t *testing.T) []campaign.Target {
+	t.Helper()
+	targets, err := campaign.Enumerate(campaign.EnumSpec{
+		Profiles:    []string{"freebsd4", "linux24", campaign.LBPool},
+		Impairments: []string{"clean", "swap-heavy"},
+		Tests:       []string{"single", "dual", "syn", "transfer"},
+		Seeds:       1,
+		BaseSeed:    42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return targets
+}
+
+// outPaths returns (jsonl, csv, checkpoint) paths under dir.
+func outPaths(dir string) (string, string, string) {
+	return filepath.Join(dir, "out.jsonl"), filepath.Join(dir, "out.csv"), filepath.Join(dir, "ckpt.json")
+}
+
+func readOut(t *testing.T, dir string) (jsonl, csv []byte) {
+	t.Helper()
+	out, csvPath, _ := outPaths(dir)
+	jsonl, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err = os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jsonl, csv
+}
+
+// runSingle runs the reference single-process campaign into dir.
+func runSingle(t *testing.T, targets []campaign.Target, dir string) *campaign.Summary {
+	t.Helper()
+	out, csv, ckpt := outPaths(dir)
+	sum, err := campaign.Run(campaign.Config{
+		Targets:        targets,
+		Samples:        4,
+		OutputPath:     out,
+		CSVPath:        csv,
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// serveDist runs a coordinator over cfg with n in-process workers
+// connected via TCP loopback and returns the summary.
+func serveDist(t *testing.T, cfg Config, targets []campaign.Target, n int) (*campaign.Summary, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Listener = ln
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = RunWorker(WorkerConfig{
+				Connect: addr,
+				Targets: targets,
+				Samples: cfg.Campaign.Samples,
+			})
+		}(i)
+	}
+	sum, err := Serve(cfg)
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil && err == nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	return sum, err
+}
+
+// TestServeMatchesRun is the core byte-identity check: a distributed run
+// at any worker count produces the same JSONL, CSV, checkpoint and
+// summary text as campaign.Run over the same config.
+func TestServeMatchesRun(t *testing.T) {
+	targets := testTargets(t)
+	refDir := t.TempDir()
+	refSum := runSingle(t, targets, refDir)
+	refJSONL, refCSV := readOut(t, refDir)
+	var refText bytes.Buffer
+	refSum.WriteText(&refText)
+
+	for _, workers := range []int{1, 2, 4} {
+		dir := t.TempDir()
+		out, csv, ckpt := outPaths(dir)
+		sum, err := serveDist(t, Config{
+			Campaign: campaign.Config{
+				Targets:        targets,
+				Samples:        4,
+				OutputPath:     out,
+				CSVPath:        csv,
+				CheckpointPath: ckpt,
+			},
+			SpanSize:      5, // deliberately misaligned with the 24-target range
+			ExpectWorkers: workers,
+		}, targets, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		jsonl, csvb := readOut(t, dir)
+		if !bytes.Equal(jsonl, refJSONL) {
+			t.Errorf("workers=%d: JSONL differs from single-process run", workers)
+		}
+		if !bytes.Equal(csvb, refCSV) {
+			t.Errorf("workers=%d: CSV differs from single-process run", workers)
+		}
+		var text bytes.Buffer
+		sum.WriteText(&text)
+		if !bytes.Equal(text.Bytes(), refText.Bytes()) {
+			t.Errorf("workers=%d: summary text differs from single-process run\n--- dist ---\n%s\n--- single ---\n%s",
+				workers, text.String(), refText.String())
+		}
+		refCkpt, _ := os.ReadFile(filepath.Join(refDir, "ckpt.json"))
+		distCkpt, _ := os.ReadFile(ckpt)
+		if !bytes.Equal(refCkpt, distCkpt) {
+			t.Errorf("workers=%d: final checkpoint differs from single-process run", workers)
+		}
+	}
+}
+
+// crashAfterLease connects as a protocol-correct worker, takes one lease,
+// and drops the connection without reporting — the crash the re-issue
+// queue exists for.
+func crashAfterLease(t *testing.T, addr string, targets []campaign.Target) {
+	t.Helper()
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWire(conn)
+	fp := campaign.Fingerprint(targets, 4)
+	if err := w.send(&Msg{Type: MsgHello, Version: ProtocolVersion, Fingerprint: fp}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := w.recv(); err != nil || m.Type != MsgWelcome {
+		t.Fatalf("crasher handshake: %v %+v", err, m)
+	}
+	if err := w.send(&Msg{Type: MsgLease}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := w.recv(); err != nil || m.Type != MsgSpan {
+		t.Fatalf("crasher lease: %v %+v", err, m)
+	}
+	conn.Close() // dies holding the lease
+}
+
+// TestWorkerCrashReissue kills a worker that holds a lease; the span must
+// be re-issued and the final output stay byte-identical.
+func TestWorkerCrashReissue(t *testing.T) {
+	targets := testTargets(t)
+	refDir := t.TempDir()
+	runSingle(t, targets, refDir)
+	refJSONL, refCSV := readOut(t, refDir)
+
+	dir := t.TempDir()
+	out, csv, ckpt := outPaths(dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	var log bytes.Buffer
+	done := make(chan struct{})
+	var sum *campaign.Summary
+	var serveErr error
+	go func() {
+		defer close(done)
+		sum, serveErr = Serve(Config{
+			Campaign: campaign.Config{
+				Targets:        targets,
+				Samples:        4,
+				OutputPath:     out,
+				CSVPath:        csv,
+				CheckpointPath: ckpt,
+			},
+			Listener: ln,
+			SpanSize: 4,
+			Log:      &log,
+		})
+	}()
+
+	// The crasher takes the first lease ([0,4)) and dies with it, so the
+	// honest worker's spans all stash behind the hole until re-issue.
+	crashAfterLease(t, addr, targets)
+	if err := RunWorker(WorkerConfig{Connect: addr, Targets: targets, Samples: 4}); err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	<-done
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	if sum.Interrupted {
+		t.Error("run reported interrupted after worker crash recovery")
+	}
+	if !bytes.Contains(log.Bytes(), []byte("re-issued")) {
+		t.Errorf("coordinator log does not mention re-issue:\n%s", log.String())
+	}
+	jsonl, csvb := readOut(t, dir)
+	if !bytes.Equal(jsonl, refJSONL) {
+		t.Error("JSONL differs after crash recovery")
+	}
+	if !bytes.Equal(csvb, refCSV) {
+		t.Error("CSV differs after crash recovery")
+	}
+}
+
+// TestDrainResume interrupts a distributed run mid-campaign, then resumes
+// it (once distributed, once single-process) and checks the stitched
+// output is byte-identical to an uninterrupted run — drain, checkpoint
+// federation and cross-mode resume in one.
+func TestDrainResume(t *testing.T) {
+	targets := testTargets(t)
+	refDir := t.TempDir()
+	runSingle(t, targets, refDir)
+	refJSONL, refCSV := readOut(t, refDir)
+
+	for _, resumeDist := range []bool{true, false} {
+		dir := t.TempDir()
+		out, csv, ckpt := outPaths(dir)
+		interrupt := make(chan struct{})
+		var once sync.Once
+		sum, err := serveDist(t, Config{
+			Campaign: campaign.Config{
+				Targets:        targets,
+				Samples:        4,
+				OutputPath:     out,
+				CSVPath:        csv,
+				CheckpointPath: ckpt,
+				Interrupt:      interrupt,
+				Progress: func(done, total int) {
+					if done >= 7 {
+						once.Do(func() { close(interrupt) })
+					}
+				},
+			},
+			SpanSize:      3,
+			ExpectWorkers: 2,
+		}, targets, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sum.Interrupted {
+			t.Fatal("drained run not marked interrupted")
+		}
+
+		resumeCfg := campaign.Config{
+			Targets:        targets,
+			Samples:        4,
+			OutputPath:     out,
+			CSVPath:        csv,
+			CheckpointPath: ckpt,
+			Resume:         true,
+		}
+		if resumeDist {
+			sum, err = serveDist(t, Config{
+				Campaign: resumeCfg,
+				SpanSize: 3,
+			}, targets, 1)
+		} else {
+			sum, err = campaign.Run(resumeCfg)
+		}
+		if err != nil {
+			t.Fatalf("resume (dist=%v): %v", resumeDist, err)
+		}
+		if sum.Interrupted {
+			t.Errorf("resume (dist=%v): completed run still marked interrupted", resumeDist)
+		}
+		jsonl, csvb := readOut(t, dir)
+		if !bytes.Equal(jsonl, refJSONL) {
+			t.Errorf("resume (dist=%v): JSONL differs from uninterrupted run", resumeDist)
+		}
+		if !bytes.Equal(csvb, refCSV) {
+			t.Errorf("resume (dist=%v): CSV differs from uninterrupted run", resumeDist)
+		}
+	}
+}
+
+// TestObsMerge runs a distributed campaign with telemetry on both sides
+// and checks the coordinator's merged registry covers every probe the
+// workers ran.
+func TestObsMerge(t *testing.T) {
+	targets := testTargets(t)
+	dir := t.TempDir()
+	out, csv, ckpt := outPaths(dir)
+
+	coordObs := obs.NewCampaign(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(WorkerConfig{
+				Connect: addr,
+				Targets: targets,
+				Samples: 4,
+				Obs:     obs.NewCampaign(1),
+			}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	if _, err := Serve(Config{
+		Campaign: campaign.Config{
+			Targets:        targets,
+			Samples:        4,
+			OutputPath:     out,
+			CSVPath:        csv,
+			CheckpointPath: ckpt,
+			Obs:            coordObs,
+		},
+		Listener:      ln,
+		ExpectWorkers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	snap := coordObs.Snapshot()
+	if got, want := snap.Workers.Targets, uint64(len(targets)); got != want {
+		t.Errorf("merged Targets = %d, want %d", got, want)
+	}
+	if snap.Workers.Attempts < uint64(len(targets)) {
+		t.Errorf("merged Attempts = %d, want >= %d", snap.Workers.Attempts, len(targets))
+	}
+	if snap.ProbeLatency.Count != snap.Workers.Attempts {
+		t.Errorf("merged probe-latency count %d != attempts %d",
+			snap.ProbeLatency.Count, snap.Workers.Attempts)
+	}
+	if snap.Done != int64(len(targets)) {
+		t.Errorf("run progress done = %d, want %d", snap.Done, len(targets))
+	}
+}
+
+// TestRejects drives the handshake's refusal paths: bad version, wrong
+// fingerprint, garbage instead of hello. The coordinator must reject all
+// three and still run the campaign to completion with an honest worker.
+func TestRejects(t *testing.T) {
+	targets := testTargets(t)
+	dir := t.TempDir()
+	out, csv, ckpt := outPaths(dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	done := make(chan struct{})
+	var serveErr error
+	go func() {
+		defer close(done)
+		_, serveErr = Serve(Config{
+			Campaign: campaign.Config{
+				Targets:        targets,
+				Samples:        4,
+				OutputPath:     out,
+				CSVPath:        csv,
+				CheckpointPath: ckpt,
+			},
+			Listener: ln,
+		})
+	}()
+
+	expectReject := func(name string, raw string) {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte(raw)); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		w := newWire(conn)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		m, err := w.recv()
+		if err != nil {
+			// Connection closed without a readable reject is also a refusal.
+			return
+		}
+		if m.Type != MsgReject {
+			t.Errorf("%s: got %q, want reject", name, m.Type)
+		}
+	}
+	expectReject("garbage", "{{{ not json\n")
+	expectReject("bad-version", `{"type":"hello","version":99,"fingerprint":1}`+"\n")
+	expectReject("bad-fingerprint", `{"type":"hello","version":1,"fingerprint":12345}`+"\n")
+	expectReject("trailing-garbage", `{"type":"hello","version":1} {"x":1}`+"\n")
+
+	if err := RunWorker(WorkerConfig{Connect: addr, Targets: targets, Samples: 4}); err != nil {
+		t.Fatalf("honest worker: %v", err)
+	}
+	<-done
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+}
+
+// TestLeaseTable unit-tests the dispatch invariants: lowest-lo re-issue
+// first, window gating, first-completion-wins, revoke requeueing.
+func TestLeaseTable(t *testing.T) {
+	tb := newLeaseTable(0, 20, 5, 10)
+	s1, ok := tb.grant(1)
+	if !ok || s1 != (span{0, 5}) {
+		t.Fatalf("grant 1 = %+v %v", s1, ok)
+	}
+	s2, ok := tb.grant(2)
+	if !ok || s2 != (span{5, 10}) {
+		t.Fatalf("grant 2 = %+v %v", s2, ok)
+	}
+	// Window is 10 above frontier 0: [10,15) must block until an advance.
+	granted := make(chan span)
+	go func() {
+		sp, ok := tb.grant(3)
+		if !ok {
+			t.Error("grant 3 drained unexpectedly")
+		}
+		granted <- sp
+	}()
+	select {
+	case sp := <-granted:
+		t.Fatalf("grant beyond window returned %+v before advance", sp)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if !tb.complete(0, 5) {
+		t.Fatal("first completion rejected")
+	}
+	tb.advance(5)
+	if sp := <-granted; sp != (span{10, 15}) {
+		t.Fatalf("post-advance grant = %+v", sp)
+	}
+	// Worker 2 dies holding [5,10): it must come back before the cursor.
+	tb.revoke(2)
+	s4, ok := tb.grant(4)
+	if !ok || s4 != (span{5, 10}) {
+		t.Fatalf("re-issue grant = %+v %v, want [5,10)", s4, ok)
+	}
+	// The dead worker's late report must lose to the re-issued lease.
+	if !tb.complete(5, 10) {
+		t.Fatal("re-issued completion rejected")
+	}
+	if tb.complete(5, 10) {
+		t.Fatal("duplicate completion accepted")
+	}
+	tb.advance(10)
+	if s5, ok := tb.grant(5); !ok || s5 != (span{15, 20}) {
+		t.Fatalf("tail grant = %+v %v", s5, ok)
+	}
+	tb.complete(10, 15)
+	tb.complete(15, 20)
+	tb.advance(20)
+	if _, ok := tb.grant(6); ok {
+		t.Fatal("grant after completion should drain")
+	}
+	settled := make(chan struct{})
+	go func() { tb.waitSettled(); close(settled) }()
+	select {
+	case <-settled:
+	case <-time.After(time.Second):
+		t.Fatal("waitSettled hung on a finished table")
+	}
+}
+
+// fakeConn adapts a byte buffer to net.Conn for wire parsing tests.
+type fakeConn struct {
+	*bytes.Reader
+}
+
+func (fakeConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (fakeConn) Close() error                       { return nil }
+func (fakeConn) LocalAddr() net.Addr                { return nil }
+func (fakeConn) RemoteAddr() net.Addr               { return nil }
+func (fakeConn) SetDeadline(time.Time) error        { return nil }
+func (fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestRecvMalformed pins the parser's rejection matrix.
+func TestRecvMalformed(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"empty-line", "\n"},
+		{"whitespace", "   \n"},
+		{"not-json", "hello world\n"},
+		{"unknown-type", `{"type":"exploit"}` + "\n"},
+		{"trailing-garbage", `{"type":"lease"} extra` + "\n"},
+		{"negative-span", `{"type":"span","lo":-3,"hi":4}` + "\n"},
+		{"inverted-span", `{"type":"span","lo":9,"hi":2}` + "\n"},
+		{"huge-payload", `{"type":"report","json_len":999999999999}` + "\n"},
+		{"wrong-shape", `[1,2,3]` + "\n"},
+	}
+	for _, tc := range cases {
+		w := newWire(fakeConn{bytes.NewReader([]byte(tc.input))})
+		if m, err := w.recv(); err == nil {
+			t.Errorf("%s: accepted as %+v", tc.name, m)
+		}
+	}
+	// And a sanity valid case so the matrix can't pass vacuously.
+	w := newWire(fakeConn{bytes.NewReader([]byte(`{"type":"span","lo":3,"hi":8}` + "\n"))})
+	m, err := w.recv()
+	if err != nil || m.Lo != 3 || m.Hi != 8 {
+		t.Fatalf("valid span rejected: %v %+v", err, m)
+	}
+}
+
+// FuzzRecv asserts the parser never panics and never accepts a message
+// with an out-of-whitelist type, whatever bytes arrive.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","version":1,"fingerprint":42}` + "\n"))
+	f.Add([]byte(`{"type":"report","lo":0,"hi":5,"json_len":10,"csv_len":3}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"type":"span","lo":1e99}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := newWire(fakeConn{bytes.NewReader(data)})
+		for i := 0; i < 4; i++ {
+			m, err := w.recv()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case MsgHello, MsgWelcome, MsgReject, MsgLease, MsgSpan, MsgDrain,
+				MsgReport, MsgHeartbeat, MsgBye, MsgFail:
+			default:
+				t.Fatalf("recv accepted unknown type %q", m.Type)
+			}
+			if m.JSONLen < 0 || m.CSVLen < 0 || m.Lo < 0 || m.Hi < m.Lo {
+				t.Fatalf("recv accepted malformed numeric fields: %+v", m)
+			}
+		}
+	})
+}

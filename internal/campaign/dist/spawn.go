@@ -1,0 +1,42 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// Spawn forks n local worker processes running binary with args (the
+// caller builds the argv — typically its own enumeration flags plus
+// -worker -connect). Worker stderr is forwarded to stderr; stdout is
+// discarded (workers print nothing on success). On a partial failure the
+// already-started workers are killed.
+func Spawn(n int, binary string, args []string, stderr io.Writer) ([]*exec.Cmd, error) {
+	cmds := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(binary, args...)
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return nil, fmt.Errorf("dist: spawn worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
+}
+
+// WaitWorkers reaps spawned workers, returning the first failure. Workers
+// exit nonzero on their own errors, so a silent crash surfaces here even
+// though the coordinator already re-issued its leases.
+func WaitWorkers(cmds []*exec.Cmd) error {
+	var first error
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && first == nil {
+			first = fmt.Errorf("dist: worker %d: %w", i, err)
+		}
+	}
+	return first
+}

@@ -1,0 +1,267 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"reorder/internal/campaign"
+	"reorder/internal/obs"
+)
+
+// WorkerConfig parameterizes one worker process's probe loop.
+type WorkerConfig struct {
+	// Connect is the coordinator address (see Dial); ignored when Conn is
+	// set (tests inject pipes).
+	Connect string
+	Conn    net.Conn
+
+	// Targets must be the same list the coordinator holds — workers
+	// enumerate it from the same flags rather than shipping it over the
+	// wire, and the fingerprint handshake proves the two agree.
+	Targets []campaign.Target
+	// Samples per measurement (default 8, the campaign default; part of
+	// the fingerprint).
+	Samples int
+
+	// Obs, when set, records worker-side telemetry; its totals and exact
+	// probe-latency bins ship to the coordinator at bye. Typically
+	// obs.NewCampaign(1).
+	Obs *obs.Campaign
+
+	// Heartbeat is the liveness send interval (default 2s — far inside
+	// the coordinator's lease timeout).
+	Heartbeat time.Duration
+}
+
+// RunWorker connects to a coordinator and probes leased spans until
+// drained. Each leased span runs the normal arena-pooled probe pipeline;
+// results are rendered with the same AppendJSON/CSVRowEncoder bytes a
+// local run would sink, and each report carries an exact aggregator-shard
+// delta for the span. Retries, backoff and the rate budget come from the
+// coordinator's welcome so output bytes cannot depend on worker-local
+// flags.
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.Samples == 0 {
+		cfg.Samples = 8
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if len(cfg.Targets) == 0 {
+		return fmt.Errorf("dist: worker has no targets")
+	}
+	conn := cfg.Conn
+	if conn == nil {
+		var err error
+		conn, err = Dial(cfg.Connect)
+		if err != nil {
+			return err
+		}
+	}
+	defer conn.Close()
+	w := newWire(conn)
+
+	fp := campaign.Fingerprint(cfg.Targets, cfg.Samples)
+	if err := w.send(&Msg{Type: MsgHello, Version: ProtocolVersion, Fingerprint: fp}); err != nil {
+		return err
+	}
+	m, err := w.recv()
+	if err != nil {
+		return err
+	}
+	switch m.Type {
+	case MsgWelcome:
+	case MsgReject:
+		return fmt.Errorf("dist: coordinator rejected worker: %s", m.Reason)
+	default:
+		return fmt.Errorf("dist: expected welcome, got %q", m.Type)
+	}
+	if m.Samples != cfg.Samples {
+		return fmt.Errorf("dist: coordinator wants %d samples, worker has %d", m.Samples, cfg.Samples)
+	}
+	retries := m.Retries
+	backoff := time.Duration(m.BackoffNs)
+	limiter := newWorkerBucket(m.Rate, m.Burst)
+
+	// Heartbeats ride a separate goroutine through the wire's write lock,
+	// so a long probe span cannot starve liveness.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if w.send(&Msg{Type: MsgHeartbeat}) != nil {
+					return
+				}
+			case <-hbStop:
+				return
+			}
+		}
+	}()
+
+	arena := campaign.NewProbeArena()
+	var wobs *obs.Worker
+	if cfg.Obs != nil {
+		wobs = cfg.Obs.Worker(0)
+		arena.SetObserver(wobs)
+	}
+	var csvEnc *campaign.CSVRowEncoder
+	if m.WantCSV {
+		csvEnc = campaign.NewCSVRowEncoder()
+		for i := range cfg.Targets {
+			if cfg.Targets[i].Topology != "" {
+				csvEnc.IncludeTopology()
+				break
+			}
+		}
+	}
+	wantJSONL := m.WantJSONL
+	delta := campaign.NewShard()
+	var jsonBuf, csvBuf []byte
+	var res campaign.TargetResult
+
+	for {
+		if err := w.send(&Msg{Type: MsgLease}); err != nil {
+			return err
+		}
+	await:
+		m, err := w.recv()
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgDrain:
+			bye := &Msg{Type: MsgBye}
+			if cfg.Obs != nil {
+				wire := cfg.Obs.Wire()
+				bye.Obs = &wire
+			}
+			w.send(bye)
+			return nil
+		case MsgSpan:
+			if m.Hi > len(cfg.Targets) || m.Lo >= m.Hi {
+				return fmt.Errorf("dist: leased span [%d,%d) outside target range", m.Lo, m.Hi)
+			}
+			jsonBuf, csvBuf = jsonBuf[:0], csvBuf[:0]
+			for i := m.Lo; i < m.Hi; i++ {
+				probeTarget(arena, wobs, cfg, &res, i, retries, backoff, limiter)
+				delta.Add(&res)
+				j0, c0 := len(jsonBuf), len(csvBuf)
+				if wantJSONL {
+					jsonBuf = res.AppendJSON(jsonBuf)
+					jsonBuf = append(jsonBuf, '\n')
+				}
+				if csvEnc != nil {
+					csvBuf, err = csvEnc.AppendRow(csvBuf, &res)
+					if err != nil {
+						// A row the worker cannot render faithfully would
+						// fail again on any re-issued lease; tell the
+						// coordinator the run is unservable.
+						w.send(&Msg{Type: MsgFail, Reason: err.Error()})
+						return err
+					}
+				}
+				if wobs != nil {
+					wobs.Targets.Inc()
+					wobs.RenderedJSONBytes.Add(uint64(len(jsonBuf) - j0))
+					wobs.RenderedCSVBytes.Add(uint64(len(csvBuf) - c0))
+				}
+			}
+			snap := delta.Snapshot()
+			rep := &Msg{
+				Type: MsgReport, Lo: m.Lo, Hi: m.Hi,
+				JSONLen: len(jsonBuf), CSVLen: len(csvBuf),
+				Shard: &snap,
+			}
+			if err := w.sendPayload(rep, jsonBuf, csvBuf); err != nil {
+				return err
+			}
+			delta.Reset()
+		case MsgHeartbeat:
+			goto await
+		default:
+			return fmt.Errorf("dist: unexpected message %q awaiting lease", m.Type)
+		}
+	}
+}
+
+// probeTarget drives one index through its attempts, mirroring the
+// scheduler's retry semantics exactly: attempt+1 lands in the result's
+// Attempts field, so retry behavior is part of the byte contract. A
+// terminally failing target is not an error — its result records the
+// failure, exactly as in a single-process run.
+func probeTarget(arena *campaign.ProbeArena, wobs *obs.Worker, cfg WorkerConfig,
+	res *campaign.TargetResult, index, retries int, backoff time.Duration, limiter *workerBucket) {
+	b := backoff
+	for attempt := 0; ; attempt++ {
+		if waited := limiter.take(); waited > 0 && cfg.Obs != nil {
+			cfg.Obs.Sched.RateWaitNanos.AddInt(waited.Nanoseconds())
+		}
+		var probeStart time.Time
+		if wobs != nil {
+			wobs.Attempts.Inc()
+			probeStart = time.Now()
+		}
+		arena.ProbeTargetInto(res, cfg.Targets[index], cfg.Samples, attempt)
+		if wobs != nil {
+			wobs.ProbeNanos.Observe(time.Since(probeStart).Nanoseconds())
+		}
+		if res.Err == "" || attempt >= retries {
+			return
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Sched.Retries.Inc()
+		}
+		if b > 0 {
+			time.Sleep(b)
+			if cfg.Obs != nil {
+				cfg.Obs.Sched.BackoffNanos.AddInt(b.Nanoseconds())
+			}
+			b *= 2
+		}
+	}
+}
+
+// workerBucket is the worker's slice of the campaign rate budget: a plain
+// blocking token bucket (this is a politeness limiter on a worker's own
+// probes — none of the scheduler's stop-channel plumbing applies). take
+// returns how long it blocked.
+type workerBucket struct {
+	rate, burst, tokens float64
+	last                time.Time
+}
+
+func newWorkerBucket(rate, burst float64) *workerBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &workerBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+func (b *workerBucket) take() time.Duration {
+	if b == nil {
+		return 0
+	}
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	time.Sleep(wait)
+	b.tokens = 0
+	b.last = time.Now()
+	return wait
+}

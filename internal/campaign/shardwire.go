@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"fmt"
+
+	"reorder/internal/stats"
+)
+
+// ShardSnapshot is the serializable form of a Shard: integer counters plus
+// exact sparse histogram snapshots. Because Shard.Add is a pure function of
+// result fields and histogram merging is integer bin addition, folding a
+// worker process's per-span snapshots into a coordinator-side shard yields
+// exactly the aggregate a single process would have built — the property
+// that makes distributed campaign summaries byte-identical to local ones.
+type ShardSnapshot struct {
+	Targets        int            `json:"targets,omitempty"`
+	Errors         int            `json:"errors,omitempty"`
+	Measured       int            `json:"measured,omitempty"`
+	Excluded       int            `json:"excluded,omitempty"`
+	WithReordering int            `json:"with_reordering,omitempty"`
+	Retried        int            `json:"retried,omitempty"`
+	DCTExcluded    map[string]int `json:"dct_excluded,omitempty"`
+
+	PerTest map[string]TestShardSnapshot `json:"per_test,omitempty"`
+
+	PathRates stats.HistogramCounts `json:"path_rates"`
+	RTTs      stats.HistogramCounts `json:"rtts"`
+	Extents   stats.HistogramCounts `json:"extents"`
+	Exposure  stats.HistogramCounts `json:"exposure"`
+}
+
+// TestShardSnapshot is one technique's slice of a ShardSnapshot.
+type TestShardSnapshot struct {
+	Measured       int                   `json:"measured,omitempty"`
+	Errors         int                   `json:"errors,omitempty"`
+	Excluded       int                   `json:"excluded,omitempty"`
+	WithReordering int                   `json:"with_reordering,omitempty"`
+	FwdRates       stats.HistogramCounts `json:"fwd_rates"`
+	RevRates       stats.HistogramCounts `json:"rev_rates"`
+}
+
+// NewShard returns an empty standalone shard, for callers outside the
+// worker-indexed Aggregator layout (remote workers accumulate per-span
+// deltas in one of these, snapshot it, and reset).
+func NewShard() *Shard { return newShard() }
+
+// Snapshot captures the shard's current contents.
+func (s *Shard) Snapshot() ShardSnapshot {
+	snap := ShardSnapshot{
+		Targets:        s.targets,
+		Errors:         s.errors,
+		Measured:       s.measured,
+		Excluded:       s.excluded,
+		WithReordering: s.withReordering,
+		Retried:        s.retried,
+		PathRates:      s.pathRates.CountsSnapshot(),
+		RTTs:           s.rtts.CountsSnapshot(),
+		Extents:        s.extents.CountsSnapshot(),
+		Exposure:       s.exposure.CountsSnapshot(),
+	}
+	if len(s.dctExcluded) > 0 {
+		snap.DCTExcluded = make(map[string]int, len(s.dctExcluded))
+		for k, v := range s.dctExcluded {
+			snap.DCTExcluded[k] = v
+		}
+	}
+	if len(s.perTest) > 0 {
+		snap.PerTest = make(map[string]TestShardSnapshot, len(s.perTest))
+		for name, ts := range s.perTest {
+			snap.PerTest[name] = TestShardSnapshot{
+				Measured:       ts.measured,
+				Errors:         ts.errors,
+				Excluded:       ts.excluded,
+				WithReordering: ts.withReordering,
+				FwdRates:       ts.fwdRates.CountsSnapshot(),
+				RevRates:       ts.revRates.CountsSnapshot(),
+			}
+		}
+	}
+	return snap
+}
+
+// MergeSnapshot folds a snapshot into the shard. Snapshots arrive over the
+// wire, so malformed ones return an error instead of panicking; a failed
+// merge may leave the shard partially updated, which is fine because the
+// callers treat any merge error as fatal to the run.
+func (s *Shard) MergeSnapshot(snap ShardSnapshot) error {
+	if snap.Targets < 0 || snap.Errors < 0 || snap.Measured < 0 ||
+		snap.Excluded < 0 || snap.WithReordering < 0 || snap.Retried < 0 {
+		return fmt.Errorf("campaign: shard snapshot with negative counters")
+	}
+	s.targets += snap.Targets
+	s.errors += snap.Errors
+	s.measured += snap.Measured
+	s.excluded += snap.Excluded
+	s.withReordering += snap.WithReordering
+	s.retried += snap.Retried
+	for k, v := range snap.DCTExcluded {
+		if v < 0 {
+			return fmt.Errorf("campaign: shard snapshot with negative dct exclusion %q", k)
+		}
+		s.dctExcluded[k] += v
+	}
+	if err := s.pathRates.MergeCounts(snap.PathRates); err != nil {
+		return fmt.Errorf("campaign: path rates: %w", err)
+	}
+	if err := s.rtts.MergeCounts(snap.RTTs); err != nil {
+		return fmt.Errorf("campaign: rtts: %w", err)
+	}
+	if err := s.extents.MergeCounts(snap.Extents); err != nil {
+		return fmt.Errorf("campaign: extents: %w", err)
+	}
+	if err := s.exposure.MergeCounts(snap.Exposure); err != nil {
+		return fmt.Errorf("campaign: exposure: %w", err)
+	}
+	for name, tsnap := range snap.PerTest {
+		if tsnap.Measured < 0 || tsnap.Errors < 0 || tsnap.Excluded < 0 || tsnap.WithReordering < 0 {
+			return fmt.Errorf("campaign: shard snapshot test %q with negative counters", name)
+		}
+		ts := s.perTest[name]
+		if ts == nil {
+			ts = newTestShard()
+			s.perTest[name] = ts
+		}
+		ts.measured += tsnap.Measured
+		ts.errors += tsnap.Errors
+		ts.excluded += tsnap.Excluded
+		ts.withReordering += tsnap.WithReordering
+		if err := ts.fwdRates.MergeCounts(tsnap.FwdRates); err != nil {
+			return fmt.Errorf("campaign: test %q fwd rates: %w", name, err)
+		}
+		if err := ts.revRates.MergeCounts(tsnap.RevRates); err != nil {
+			return fmt.Errorf("campaign: test %q rev rates: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Reset empties the shard in place, keeping its allocations, so a worker
+// can reuse one shard as a per-span delta accumulator.
+func (s *Shard) Reset() {
+	s.targets, s.errors, s.measured, s.excluded = 0, 0, 0, 0
+	s.withReordering, s.retried = 0, 0
+	for k := range s.dctExcluded {
+		delete(s.dctExcluded, k)
+	}
+	for _, ts := range s.perTest {
+		ts.measured, ts.errors, ts.excluded, ts.withReordering = 0, 0, 0, 0
+		ts.fwdRates.Reset()
+		ts.revRates.Reset()
+	}
+	s.pathRates.Reset()
+	s.rtts.Reset()
+	s.extents.Reset()
+	s.exposure.Reset()
+}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"reorder/internal/stats"
+)
+
+// Snapshot → JSON round trip → MergeSnapshot of per-span deltas must yield
+// the exact summary a single shard would have built — the invariant the
+// distributed coordinator's merge rests on.
+func TestShardSnapshotRoundTrip(t *testing.T) {
+	targets, err := Enumerate(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewProbeArena()
+	whole := NewShard()
+	delta := NewShard()
+	merged := NewShard()
+
+	var res TargetResult
+	spanSize := 5
+	for lo := 0; lo < len(targets); lo += spanSize {
+		hi := lo + spanSize
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		for i := lo; i < hi; i++ {
+			arena.ProbeTargetInto(&res, targets[i], 4, 0)
+			whole.Add(&res)
+			delta.Add(&res)
+		}
+		b, err := json.Marshal(delta.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ShardSnapshot
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.MergeSnapshot(back); err != nil {
+			t.Fatal(err)
+		}
+		delta.Reset()
+	}
+
+	aw := &Aggregator{shards: []*Shard{whole}}
+	am := &Aggregator{shards: []*Shard{merged}}
+	var bw, bm bytes.Buffer
+	aw.Summary().WriteText(&bw)
+	am.Summary().WriteText(&bm)
+	if bw.String() != bm.String() {
+		t.Fatalf("merged snapshot summary differs:\nwhole:\n%s\nmerged:\n%s", bw.String(), bm.String())
+	}
+}
+
+func TestShardMergeSnapshotRejectsMalformed(t *testing.T) {
+	cases := []ShardSnapshot{
+		{Targets: -1},
+		{DCTExcluded: map[string]int{"x": -2}},
+		{PerTest: map[string]TestShardSnapshot{"single": {Measured: -1}}},
+		{PathRates: malformedCounts()},
+		{PerTest: map[string]TestShardSnapshot{"single": {FwdRates: malformedCounts()}}},
+	}
+	for i, snap := range cases {
+		if err := NewShard().MergeSnapshot(snap); err == nil {
+			t.Errorf("case %d: malformed shard snapshot accepted", i)
+		}
+	}
+}
+
+func malformedCounts() stats.HistogramCounts {
+	return stats.HistogramCounts{N: 3, Bins: []uint64{0, 1}} // sums to 1, header says 3
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"reorder/internal/campaign"
 	"reorder/internal/core"
 	"reorder/internal/host"
 	"reorder/internal/netem"
@@ -29,6 +30,10 @@ type GapSweepConfig struct {
 	Trunk *netem.TrunkConfig
 	// Seed drives everything.
 	Seed uint64
+	// Workers caps the parallel point runs (default 16). Each spacing's
+	// simnet and prober derive from its point index alone, so the curve is
+	// identical at any worker count.
+	Workers int
 }
 
 // DefaultGapSweep follows the paper's sampling schedule. It is sized for
@@ -112,26 +117,44 @@ func RunGapSweep(cfg GapSweepConfig) (*GapSweepReport, error) {
 			MeanBurstBytes: 2500, // 20µs of drain time: the Fig 7 decay constant
 		}
 	}
-	rep := &GapSweepReport{}
-	for i, gap := range cfg.gaps() {
-		n := simnet.New(simnet.Config{
-			Seed:   cfg.Seed + uint64(i),
-			Server: host.FreeBSD4(),
-			// A fast probe access link: minimum-sized sample packets must
-			// reach the trunk still back-to-back, or serialization delay
-			// floors the effective gap (the §IV-C size effect itself).
-			Forward: simnet.PathSpec{LinkRate: 1_000_000_000, Trunk: trunk},
-		})
-		prober := core.NewProber(n.Probe(), n.ServerAddr(), cfg.Seed+uint64(i)*31)
-		res, err := prober.DualConnectionTest(core.DCTOptions{
-			Samples: cfg.SamplesPerPoint,
-			Gap:     gap,
-		})
-		if err != nil {
-			return nil, err
-		}
-		f := res.Forward()
-		rep.Points = append(rep.Points, GapPoint{Gap: gap, Rate: f.Rate(), Valid: f.Valid()})
+	gaps := cfg.gaps()
+	points := make([]GapPoint, len(gaps))
+	errs := make([]error, len(gaps))
+	sched := campaign.NewScheduler(campaign.SchedulerConfig{Workers: cfg.Workers})
+	if err := sched.RunSpans(0, len(gaps),
+		nil,
+		func(_, i, _ int) error {
+			n := simnet.New(simnet.Config{
+				Seed:   cfg.Seed + uint64(i),
+				Server: host.FreeBSD4(),
+				// A fast probe access link: minimum-sized sample packets must
+				// reach the trunk still back-to-back, or serialization delay
+				// floors the effective gap (the §IV-C size effect itself).
+				Forward: simnet.PathSpec{LinkRate: 1_000_000_000, Trunk: trunk},
+			})
+			prober := core.NewProber(n.Probe(), n.ServerAddr(), cfg.Seed+uint64(i)*31)
+			res, err := prober.DualConnectionTest(core.DCTOptions{
+				Samples: cfg.SamplesPerPoint,
+				Gap:     gaps[i],
+			})
+			if err != nil {
+				errs[i] = err
+				return nil
+			}
+			f := res.Forward()
+			points[i] = GapPoint{Gap: gaps[i], Rate: f.Rate(), Valid: f.Valid()}
+			return nil
+		},
+		func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if errs[i] != nil {
+					return errs[i]
+				}
+			}
+			return nil
+		},
+	); err != nil {
+		return nil, err
 	}
-	return rep, nil
+	return &GapSweepReport{Points: points}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"reorder/internal/campaign"
 	"reorder/internal/core"
 	"reorder/internal/host"
 	"reorder/internal/netem"
@@ -31,6 +32,10 @@ type MechanismsConfig struct {
 	SamplesPerPoint int
 	// Seed drives everything.
 	Seed uint64
+	// Workers caps the parallel cell runs (default 16). Each mechanism×gap
+	// cell is hermetic — its simnet and prober derive from the cell's seed
+	// alone — so the report is identical at any worker count.
+	Workers int
 }
 
 // DefaultMechanisms returns the full-scale configuration.
@@ -101,10 +106,14 @@ func (rep *MechanismsReport) WriteText(w io.Writer) {
 	}
 }
 
-// RunMechanisms executes E8.
+// RunMechanisms executes E8. Cells run on the campaign span scheduler:
+// every mechanism×gap cell is hermetic, so the sweep parallelizes freely
+// and the report bytes are identical at any worker count.
 func RunMechanisms(cfg MechanismsConfig) (*MechanismsReport, error) {
 	if len(cfg.Gaps) == 0 {
+		workers := cfg.Workers
 		cfg = DefaultMechanisms()
+		cfg.Workers = workers
 	}
 	mechanisms := []struct {
 		name string
@@ -131,24 +140,56 @@ func RunMechanisms(cfg MechanismsConfig) (*MechanismsReport, error) {
 			}
 		}},
 	}
-	rep := &MechanismsReport{}
-	for _, m := range mechanisms {
-		curve := MechanismCurve{Name: m.name}
-		for i, gap := range cfg.Gaps {
+	// Flatten the mechanism × gap grid so the scheduler can span-dispatch
+	// it; each cell writes only its own slot, and the in-order emit pass
+	// surfaces the lowest-index failure deterministically.
+	type cell struct{ mech, gi int }
+	cells := make([]cell, 0, len(mechanisms)*len(cfg.Gaps))
+	for mi := range mechanisms {
+		for gi := range cfg.Gaps {
+			cells = append(cells, cell{mi, gi})
+		}
+	}
+	points := make([]GapPoint, len(cells))
+	errs := make([]error, len(cells))
+	sched := campaign.NewScheduler(campaign.SchedulerConfig{Workers: cfg.Workers})
+	if err := sched.RunSpans(0, len(cells),
+		nil,
+		func(_, index, _ int) error {
+			c := cells[index]
+			m, gap := mechanisms[c.mech], cfg.Gaps[c.gi]
 			n := simnet.New(simnet.Config{
-				Seed:    cfg.Seed + uint64(i)*101,
+				Seed:    cfg.Seed + uint64(c.gi)*101,
 				Server:  host.FreeBSD4(),
 				Forward: m.path(),
 			})
-			prober := core.NewProber(n.Probe(), n.ServerAddr(), cfg.Seed+uint64(i))
+			prober := core.NewProber(n.Probe(), n.ServerAddr(), cfg.Seed+uint64(c.gi))
 			res, err := prober.DualConnectionTest(core.DCTOptions{Samples: cfg.SamplesPerPoint, Gap: gap})
 			if err != nil {
-				return nil, fmt.Errorf("mechanism %s gap %v: %w", m.name, gap, err)
+				errs[index] = fmt.Errorf("mechanism %s gap %v: %w", m.name, gap, err)
+				return nil
 			}
 			f := res.Forward()
-			curve.Points = append(curve.Points, GapPoint{Gap: gap, Rate: f.Rate(), Valid: f.Valid()})
-		}
-		rep.Curves = append(rep.Curves, curve)
+			points[index] = GapPoint{Gap: gap, Rate: f.Rate(), Valid: f.Valid()}
+			return nil
+		},
+		func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if errs[i] != nil {
+					return errs[i]
+				}
+			}
+			return nil
+		},
+	); err != nil {
+		return nil, err
+	}
+	rep := &MechanismsReport{}
+	for mi, m := range mechanisms {
+		rep.Curves = append(rep.Curves, MechanismCurve{
+			Name:   m.name,
+			Points: points[mi*len(cfg.Gaps) : (mi+1)*len(cfg.Gaps)],
+		})
 	}
 	return rep, nil
 }
