@@ -40,8 +40,11 @@ func run(args []string, stdout io.Writer) error {
 		seeds        = fs.Int("seeds", 0, "seed replicas per profile×impairment×test combination (0 = auto: 7, or 2 with -quick)")
 		baseSeed     = fs.Uint64("seed", 719, "base seed; fixes every scenario draw in the campaign")
 		topologies   = fs.String("topology", "", "comma-separated topology graphs from the catalog (\"p2p\" is the point-to-point control); adds a topology dimension to the enumeration")
+		scenarioList = fs.String("scenario", "", "comma-separated fault schedules from the scenario catalog; adds a time-varying/adversarial dimension to the enumeration")
 		congestion   = fs.Bool("congestion", false, "run the congestion experiment instead of a raw campaign: clean-path probes over routed topologies, techniques cross-checked for agreement")
-		targetsPath  = fs.String("targets", "", "targets file (profile impairment test seed [topology] per line); overrides enumeration")
+		chaos        = fs.Bool("chaos", false, "run the chaos experiment instead of a raw campaign: probes under every fault schedule, techniques cross-checked for agreement")
+		listCatalogs = fs.Bool("list", false, "print the profile, impairment, topology and scenario catalogs and exit")
+		targetsPath  = fs.String("targets", "", "targets file (profile impairment test seed [topology [scenario]] per line); overrides enumeration")
 		samples      = fs.Int("samples", 8, "samples per measurement")
 		workers      = fs.Int("workers", 16, "concurrent probe workers")
 		retries      = fs.Int("retries", 1, "extra attempts for a failed target")
@@ -72,6 +75,13 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+	if err := validateFlags(fs, *scenarioList, *connect, *workerMode, *spawnN, *coordinate); err != nil {
+		return err
+	}
+	if *listCatalogs {
+		printCatalogs(stdout)
+		return nil
 	}
 
 	// Profiling hooks, so field campaigns can be profiled the way the
@@ -118,6 +128,20 @@ func run(args []string, stdout io.Writer) error {
 		rep.WriteText(stdout)
 		return nil
 	}
+	if *chaos {
+		rep, err := experiments.RunChaos(experiments.ChaosConfig{
+			Scenarios: splitList(*scenarioList),
+			Replicas:  *seeds,
+			Samples:   *samples,
+			Workers:   *workers,
+			Seed:      *baseSeed,
+		})
+		if err != nil {
+			return err
+		}
+		rep.WriteText(stdout)
+		return nil
+	}
 
 	var targets []campaign.Target
 	if *targetsPath != "" {
@@ -138,6 +162,7 @@ func run(args []string, stdout io.Writer) error {
 			Seeds:       *seeds,
 			BaseSeed:    *baseSeed,
 			Topologies:  splitList(*topologies),
+			Scenarios:   splitList(*scenarioList),
 		}
 		// -quick shrinks only the dimensions the user did not set
 		// explicitly, so e.g. `-quick -seeds 5` keeps 5 seed replicas.
@@ -322,6 +347,9 @@ func run(args []string, stdout io.Writer) error {
 			if *topologies != "" {
 				childArgs = append(childArgs, "-topology", *topologies)
 			}
+			if *scenarioList != "" {
+				childArgs = append(childArgs, "-scenario", *scenarioList)
+			}
 			if *quick {
 				childArgs = append(childArgs, "-quick")
 			}
@@ -423,6 +451,68 @@ func archiveFile(path string) (string, error) {
 			return "", err
 		}
 	}
+}
+
+// validateFlags rejects contradictory or unknown flag values up front, with
+// one-line errors, before any targets are enumerated or files touched.
+func validateFlags(fs *flag.FlagSet, scenarios, connect string, worker bool, spawnN int, coordinate string) error {
+	var badLease bool
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "lease-timeout" {
+			return
+		}
+		if d, err := time.ParseDuration(f.Value.String()); err == nil && d <= 0 {
+			badLease = true
+		}
+	})
+	if badLease {
+		return fmt.Errorf("campaign: -lease-timeout must be positive (omit it for the 15s default)")
+	}
+	if spawnN < 0 {
+		return fmt.Errorf("campaign: -spawn must be non-negative")
+	}
+	if spawnN > 0 && connect != "" {
+		return fmt.Errorf("campaign: -spawn (coordinate and fork workers) and -connect (be a worker) are mutually exclusive")
+	}
+	if worker && (coordinate != "" || spawnN > 0) {
+		return fmt.Errorf("campaign: -worker is mutually exclusive with -coordinate/-spawn")
+	}
+	if connect != "" && !worker {
+		return fmt.Errorf("campaign: -connect requires -worker")
+	}
+	for _, s := range splitList(scenarios) {
+		if !knownScenario(s) {
+			return fmt.Errorf("campaign: unknown scenario %q (see -list for the catalog)", s)
+		}
+	}
+	return nil
+}
+
+// knownScenario reports catalog membership; "" is the static control.
+func knownScenario(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, s := range campaign.ScenarioNames() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// printCatalogs lists every enumerable dimension, one catalog per block.
+func printCatalogs(w io.Writer) {
+	block := func(title string, names []string) {
+		fmt.Fprintf(w, "%s:\n", title)
+		for _, n := range names {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+	}
+	block("profiles", campaign.Profiles())
+	block("impairments", campaign.ImpairmentNames())
+	block("topologies", campaign.TopologyNames())
+	block("scenarios", campaign.ScenarioNames())
 }
 
 func splitList(s string) []string {

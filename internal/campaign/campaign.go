@@ -178,6 +178,9 @@ func Run(cfg Config) (*Summary, error) {
 			if hasTopology(cfg.Targets) {
 				workers[i].csvEnc.IncludeTopology()
 			}
+			if hasScenario(cfg.Targets) {
+				workers[i].csvEnc.IncludeScenario()
+			}
 		}
 		if cfg.Obs != nil {
 			workers[i].obs = cfg.Obs.Worker(i)
@@ -374,6 +377,7 @@ func openSinks(cfg Config, replayed []*TargetResult) (sinkSet, error) {
 	}
 	resuming := len(replayed) > 0
 	withTopo := hasTopology(cfg.Targets)
+	withScn := hasScenario(cfg.Targets)
 	if cfg.OutputPath != "" {
 		flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
 		if resuming {
@@ -397,6 +401,9 @@ func openSinks(cfg Config, replayed []*TargetResult) (sinkSet, error) {
 			// the rebuilt prefix carries the same header and row shape as
 			// the live rows that follow.
 			cs.IncludeTopology()
+		}
+		if withScn {
+			cs.IncludeScenario()
 		}
 		sinks.csv = cs
 		sinks.all = append(sinks.all, cs)
@@ -435,14 +442,33 @@ func hasTopology(targets []Target) bool {
 	return false
 }
 
+// hasScenario is the scenario-column analogue of hasTopology.
+func hasScenario(targets []Target) bool {
+	for i := range targets {
+		if targets[i].Scenario != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteTargets emits the target list in the LoadTargets file format; the
-// fifth (topology) field appears only on targets that have one.
+// optional fifth (topology) and sixth (scenario) fields appear only on
+// targets that need them, with "-" holding an empty topology's place when
+// only a scenario is present.
 func WriteTargets(w io.Writer, targets []Target) error {
 	for _, t := range targets {
 		var err error
-		if t.Topology != "" {
+		switch {
+		case t.Scenario != "":
+			topo := t.Topology
+			if topo == "" {
+				topo = "-"
+			}
+			_, err = fmt.Fprintf(w, "%s %s %s %d %s %s\n", t.Profile, t.Impairment, t.Test, t.Seed, topo, t.Scenario)
+		case t.Topology != "":
 			_, err = fmt.Fprintf(w, "%s %s %s %d %s\n", t.Profile, t.Impairment, t.Test, t.Seed, t.Topology)
-		} else {
+		default:
 			_, err = fmt.Fprintf(w, "%s %s %s %d\n", t.Profile, t.Impairment, t.Test, t.Seed)
 		}
 		if err != nil {

@@ -58,6 +58,13 @@ func Fingerprint(targets []Target, samples int) uint64 {
 			buf = append(buf, '|')
 			buf = append(buf, t.Topology...)
 		}
+		// Likewise the scenario segment; the '#' prefix keeps it disjoint
+		// from the topology segment (no topology name starts with '#'), so
+		// {topo:"x"} and {scenario:"x"} target lists hash differently.
+		if t.Scenario != "" {
+			buf = append(buf, '|', '#')
+			buf = append(buf, t.Scenario...)
+		}
 		buf = append(buf, '\n')
 		h.Write(buf)
 	}

@@ -149,6 +149,56 @@ func TestServeMatchesRun(t *testing.T) {
 	}
 }
 
+// TestServeScenarioMatchesRun extends the byte-identity check to a
+// scenario-bearing population: fault schedules and middleboxes run inside
+// each worker process, the scenario name rides the fingerprint handshake,
+// and the workers' pre-rendered CSV must carry the gated scenario column
+// exactly as a single-process run does (a worker that forgets to gate it
+// shifts every scenario row).
+func TestServeScenarioMatchesRun(t *testing.T) {
+	targets, err := campaign.Enumerate(campaign.EnumSpec{
+		Profiles:    []string{"freebsd4", "linux24"},
+		Impairments: []string{"clean", "swap-heavy"},
+		Tests:       []string{"single", "syn"},
+		Seeds:       1,
+		BaseSeed:    42,
+		Topologies:  []string{"", "diamond"},
+		Scenarios:   []string{"", "rst-inject", "route-flap"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	runSingle(t, targets, refDir)
+	refJSONL, refCSV := readOut(t, refDir)
+	if !bytes.Contains(refCSV, []byte("scenario")) {
+		t.Fatal("reference CSV lacks the scenario column")
+	}
+
+	dir := t.TempDir()
+	out, csv, ckpt := outPaths(dir)
+	if _, err := serveDist(t, Config{
+		Campaign: campaign.Config{
+			Targets:        targets,
+			Samples:        4,
+			OutputPath:     out,
+			CSVPath:        csv,
+			CheckpointPath: ckpt,
+		},
+		SpanSize:      5,
+		ExpectWorkers: 2,
+	}, targets, 2); err != nil {
+		t.Fatal(err)
+	}
+	jsonl, csvb := readOut(t, dir)
+	if !bytes.Equal(jsonl, refJSONL) {
+		t.Error("scenario JSONL differs from single-process run")
+	}
+	if !bytes.Equal(csvb, refCSV) {
+		t.Error("scenario CSV differs from single-process run")
+	}
+}
+
 // crashAfterLease connects as a protocol-correct worker, takes one lease,
 // and drops the connection without reporting — the crash the re-issue
 // queue exists for.

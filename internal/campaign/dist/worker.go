@@ -118,6 +118,12 @@ func RunWorker(cfg WorkerConfig) error {
 				break
 			}
 		}
+		for i := range cfg.Targets {
+			if cfg.Targets[i].Scenario != "" {
+				csvEnc.IncludeScenario()
+				break
+			}
+		}
 	}
 	wantJSONL := m.WantJSONL
 	delta := campaign.NewShard()

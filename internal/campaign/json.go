@@ -75,6 +75,10 @@ func (r *TargetResult) AppendJSON(dst []byte) []byte {
 		dst = append(dst, `,"topology":`...)
 		dst = appendJSONString(dst, r.Topology)
 	}
+	if r.Scenario != "" {
+		dst = append(dst, `,"scenario":`...)
+		dst = appendJSONString(dst, r.Scenario)
+	}
 	return append(dst, '}')
 }
 

@@ -136,6 +136,12 @@ func TestAppendJSONMatchesMarshal(t *testing.T) {
 			Impairment: "clean", Test: "single", Topology: "parallel-x2",
 			FwdValid: 8, FwdReordered: 2, FwdRate: 0.25, AnyReordering: true,
 		},
+		{
+			Name: "freebsd4/swap-heavy/syn/s2@diamond#route-flap", Profile: "freebsd4",
+			Impairment: "swap-heavy", Test: "syn", Topology: "diamond",
+			Scenario: "route-flap", FwdValid: 8, FwdReordered: 4, FwdRate: 0.5,
+		},
+		{Scenario: "rst-inject", Err: "core: connection reset"},
 	}
 	for i, r := range cases {
 		want, err := json.Marshal(r)

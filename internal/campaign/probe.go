@@ -62,9 +62,12 @@ type TargetResult struct {
 
 	// Topology names the routed-graph topology the target ran over; empty
 	// for the classic point-to-point path, so pre-topology records are
-	// byte-identical. Keep this field last: JSONL column order is
-	// append-only.
+	// byte-identical. JSONL column order is append-only.
 	Topology string `json:"topology,omitempty"`
+	// Scenario names the fault schedule the target ran under; empty for
+	// the static case, so pre-scenario records are byte-identical. Keep
+	// this field last: JSONL column order is append-only.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // PathRate is the target's overall reordering rate: valid samples from
@@ -88,11 +91,12 @@ type ProbeArena struct {
 	net    *simnet.Net
 	prober *core.Prober
 
-	// rng, impRng and topoRng are the per-target stream and its impairment
-	// and topology forks, reseeded per probe instead of allocated. topoRng
-	// is forked only for topology targets, so point-to-point probes consume
-	// the stream exactly as they did before topologies existed.
-	rng, impRng, topoRng *sim.Rand
+	// rng, impRng, topoRng and scnRng are the per-target stream and its
+	// impairment, topology and scenario forks, reseeded per probe instead
+	// of allocated. topoRng and scnRng are forked only for targets that
+	// carry a topology (resp. scenario), so classic probes consume the
+	// stream exactly as they did before either dimension existed.
+	rng, impRng, topoRng, scnRng *sim.Rand
 	// backends is the scratch the load-balanced pool's profiles are
 	// copied into before per-target mutation (the prototypes are shared).
 	backends []host.Profile
@@ -114,6 +118,25 @@ func NewProbeArena() *ProbeArena { return &ProbeArena{} }
 // through the graph constructor's empty-spec dispatch. Never set outside
 // tests.
 var debugDegenerateTopology bool
+
+// debugZeroSchedule, when set by tests, attaches zeroMagnitudeScenario to
+// static targets: a timeline whose every step reasserts the value it finds,
+// pinning that live schedule timers alone never move a byte of output.
+// Never set outside tests.
+var debugZeroSchedule bool
+
+// zeroMagnitudeScenario is a schedule of deliberate no-op edges: rate steps
+// with Rate 0 reassert the current rate, queue steps with Queue -1 keep the
+// current bound. It draws no randomness to build or apply, so attaching it
+// must leave campaign output byte-identical.
+var zeroMagnitudeScenario = &simnet.ScenarioSpec{Steps: []simnet.TimelineStep{
+	{At: 5 * time.Millisecond, Op: simnet.OpLinkRate, Dir: simnet.DirForward, Rate: 0},
+	{At: 5 * time.Millisecond, Op: simnet.OpLinkQueue, Dir: simnet.DirForward, Queue: -1},
+	{At: 12 * time.Millisecond, Op: simnet.OpLinkRate, Dir: simnet.DirReverse, Rate: 0},
+	{At: 25 * time.Millisecond, Op: simnet.OpLinkQueue, Dir: simnet.DirReverse, Queue: -1},
+	{At: 40 * time.Millisecond, Op: simnet.OpLinkRate, Dir: simnet.DirForward, Rate: 0},
+	{At: 70 * time.Millisecond, Op: simnet.OpLinkRate, Dir: simnet.DirReverse, Rate: 0},
+}}
 
 // SetObserver attaches a telemetry shard to the arena. The shard must be
 // owned by the same worker as the arena (one writer per shard).
@@ -176,7 +199,7 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 	*res = TargetResult{
 		Index: t.Index, Name: t.Name, Profile: t.Profile,
 		Impairment: t.Impairment, Test: t.Test, Seed: t.Seed,
-		Attempts: attempt + 1, Topology: t.Topology,
+		Attempts: attempt + 1, Topology: t.Topology, Scenario: t.Scenario,
 	}
 
 	cfg, err := resolveProfile(t.Profile)
@@ -190,6 +213,11 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 		return
 	}
 	topo, err := topologyByName(t.Topology)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	scn, err := scenarioByName(t.Scenario)
 	if err != nil {
 		res.Err = err.Error()
 		return
@@ -232,6 +260,20 @@ func probeTargetInto(res *TargetResult, t Target, samples int, attempt int, aren
 		// constructor's empty-spec branch without touching the stream, so
 		// golden-output tests can pin that the dispatch itself is inert.
 		cfg.Topology = &simnet.TopologySpec{}
+	}
+	// Scenario targets consume one more fork (label 3), again skipped
+	// entirely for static targets so their stream stays frozen.
+	if t.Scenario != "" {
+		if arena != nil {
+			arena.scnRng = rng.ForkInto(arena.scnRng, 3)
+			cfg.Scenario = scn.Build(arena.scnRng)
+		} else {
+			cfg.Scenario = scn.Build(rng.Fork(3))
+		}
+	} else if debugZeroSchedule {
+		// Test hook: attach a schedule of pure no-op edges without touching
+		// the stream, pinning that timeline timers alone are byte-inert.
+		cfg.Scenario = zeroMagnitudeScenario
 	}
 	// The load-balanced pool's backend prototypes are shared; copy before
 	// the per-target ObjectSize mutation below.

@@ -87,6 +87,7 @@ type CSVSink struct {
 	c         io.Closer
 	wroteHead bool
 	withTopo  bool
+	withScn   bool
 	row       []string // reused per record; csv.Writer copies it out on Write
 }
 
@@ -119,10 +120,15 @@ func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // byte-identical to pre-topology builds. Call before the first Emit.
 func (s *CSVSink) IncludeTopology() { s.withTopo = true }
 
+// IncludeScenario adds the append-only "scenario" column, after "topology"
+// when both are present; same contract and gating idiom as IncludeTopology.
+// Call before the first Emit.
+func (s *CSVSink) IncludeScenario() { s.withScn = true }
+
 // appendCSVFields builds r's row in csvHeader order (plus the optional
-// trailing topology column). Shared by the serial sink and the worker-side
-// row encoder so both render identical bytes.
-func appendCSVFields(row []string, r *TargetResult, withTopo bool) []string {
+// trailing topology and scenario columns). Shared by the serial sink and
+// the worker-side row encoder so both render identical bytes.
+func appendCSVFields(row []string, r *TargetResult, withTopo, withScn bool) []string {
 	row = append(row,
 		strconv.Itoa(r.Index), r.Name, r.Profile, r.Impairment, r.Test,
 		strconv.FormatUint(r.Seed, 10), strconv.Itoa(r.Attempts),
@@ -137,6 +143,9 @@ func appendCSVFields(row []string, r *TargetResult, withTopo bool) []string {
 	if withTopo {
 		row = append(row, r.Topology)
 	}
+	if withScn {
+		row = append(row, r.Scenario)
+	}
 	return row
 }
 
@@ -145,7 +154,7 @@ func (s *CSVSink) Emit(r *TargetResult) error {
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
-	s.row = appendCSVFields(s.row[:0], r, s.withTopo)
+	s.row = appendCSVFields(s.row[:0], r, s.withTopo, s.withScn)
 	return s.cw.Write(s.row)
 }
 
@@ -155,10 +164,17 @@ func (s *CSVSink) writeHeader() error {
 		return nil
 	}
 	s.wroteHead = true
-	if s.withTopo {
-		return s.cw.Write(append(append([]string(nil), csvHeader...), "topology"))
+	if !s.withTopo && !s.withScn {
+		return s.cw.Write(csvHeader)
 	}
-	return s.cw.Write(csvHeader)
+	head := append([]string(nil), csvHeader...)
+	if s.withTopo {
+		head = append(head, "topology")
+	}
+	if s.withScn {
+		head = append(head, "scenario")
+	}
+	return s.cw.Write(head)
 }
 
 // EmitBatch writes a batch of rows pre-encoded by a CSVRowEncoder in one
@@ -208,6 +224,7 @@ type CSVRowEncoder struct {
 	cw       *csv.Writer
 	row      []string
 	withTopo bool
+	withScn  bool
 }
 
 // NewCSVRowEncoder returns an encoder with its own scratch writer.
@@ -221,10 +238,13 @@ func NewCSVRowEncoder() *CSVRowEncoder {
 // from the same predicate so worker rows match the sink's header.
 func (e *CSVRowEncoder) IncludeTopology() { e.withTopo = true }
 
+// IncludeScenario mirrors CSVSink.IncludeScenario, same predicate pairing.
+func (e *CSVRowEncoder) IncludeScenario() { e.withScn = true }
+
 // AppendRow appends r's encoded CSV row (with line terminator) to dst.
 func (e *CSVRowEncoder) AppendRow(dst []byte, r *TargetResult) ([]byte, error) {
 	e.buf.Reset()
-	e.row = appendCSVFields(e.row[:0], r, e.withTopo)
+	e.row = appendCSVFields(e.row[:0], r, e.withTopo, e.withScn)
 	if err := e.cw.Write(e.row); err != nil {
 		return dst, err
 	}

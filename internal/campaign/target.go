@@ -37,14 +37,23 @@ type Target struct {
 	// campaign, which is why the field is append-only and omitted when
 	// empty everywhere it is serialized.
 	Topology string `json:"topology,omitempty"`
+	// Scenario names a fault schedule from Scenarios(). Empty means the
+	// static scenario; like Topology the field is append-only and omitted
+	// when empty everywhere it is serialized, so pre-scenario campaigns
+	// stay byte-identical.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // defaultName derives the canonical target name.
 func (t Target) defaultName() string {
+	name := fmt.Sprintf("%s/%s/%s/s%d", t.Profile, t.Impairment, t.Test, t.Seed)
 	if t.Topology != "" {
-		return fmt.Sprintf("%s/%s/%s/s%d@%s", t.Profile, t.Impairment, t.Test, t.Seed, t.Topology)
+		name += "@" + t.Topology
 	}
-	return fmt.Sprintf("%s/%s/%s/s%d", t.Profile, t.Impairment, t.Test, t.Seed)
+	if t.Scenario != "" {
+		name += "#" + t.Scenario
+	}
+	return name
 }
 
 // Tests are the four techniques, in the survey's round-robin order.
@@ -207,6 +216,9 @@ type EnumSpec struct {
 	// Topologies are topology names from TopologyNames(), with "" meaning
 	// the point-to-point path (default: [""], i.e. no topology dimension).
 	Topologies []string
+	// Scenarios are fault-schedule names from ScenarioNames(), with ""
+	// meaning the static scenario (default: [""], no scenario dimension).
+	Scenarios []string
 }
 
 // Enumerate expands the cross product profiles × impairments × tests ×
@@ -229,6 +241,9 @@ func Enumerate(spec EnumSpec) ([]Target, error) {
 	if len(spec.Topologies) == 0 {
 		spec.Topologies = []string{""}
 	}
+	if len(spec.Scenarios) == 0 {
+		spec.Scenarios = []string{""}
+	}
 	for _, p := range spec.Profiles {
 		if _, err := resolveProfile(p); err != nil {
 			return nil, err
@@ -249,22 +264,30 @@ func Enumerate(spec EnumSpec) ([]Target, error) {
 			return nil, err
 		}
 	}
+	for _, scn := range spec.Scenarios {
+		if _, err := scenarioByName(scn); err != nil {
+			return nil, err
+		}
+	}
 	var targets []Target
-	for _, topo := range spec.Topologies {
-		for _, p := range spec.Profiles {
-			for _, im := range spec.Impairments {
-				for _, te := range spec.Tests {
-					for s := 0; s < spec.Seeds; s++ {
-						t := Target{
-							Index:      len(targets),
-							Profile:    p,
-							Impairment: im,
-							Test:       te,
-							Seed:       deriveTopoSeed(spec.BaseSeed, p, im, topo, s),
-							Topology:   topo,
+	for _, scn := range spec.Scenarios {
+		for _, topo := range spec.Topologies {
+			for _, p := range spec.Profiles {
+				for _, im := range spec.Impairments {
+					for _, te := range spec.Tests {
+						for s := 0; s < spec.Seeds; s++ {
+							t := Target{
+								Index:      len(targets),
+								Profile:    p,
+								Impairment: im,
+								Test:       te,
+								Seed:       deriveScenarioSeed(spec.BaseSeed, p, im, topo, scn, s),
+								Topology:   topo,
+								Scenario:   scn,
+							}
+							t.Name = t.defaultName()
+							targets = append(targets, t)
 						}
-						t.Name = t.defaultName()
-						targets = append(targets, t)
 					}
 				}
 			}
@@ -298,6 +321,23 @@ func deriveTopoSeed(base uint64, profile, impairment, topology string, replica i
 	return h.Sum64()
 }
 
+// deriveScenarioSeed extends deriveTopoSeed with the scenario dimension,
+// with the same backward-compatible layering: a scenario-less target hashes
+// the exact pre-scenario string, so historical target lists re-derive
+// byte-identically. Like topology (and unlike test), the scenario is mixed
+// in — targets under different fault schedules draw different path
+// instances — while the four techniques at one
+// profile×impairment×topology×scenario×replica still probe the identical
+// instance, keeping results pairable for agreement analysis.
+func deriveScenarioSeed(base uint64, profile, impairment, topology, scenario string, replica int) uint64 {
+	if scenario == "" {
+		return deriveTopoSeed(base, profile, impairment, topology, replica)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s|#%s|%d", base, profile, impairment, topology, scenario, replica)
+	return h.Sum64()
+}
+
 func validTest(name string) bool {
 	switch name {
 	case "single", "dual", "syn", "transfer":
@@ -307,9 +347,10 @@ func validTest(name string) bool {
 }
 
 // LoadTargets parses a targets file: one target per line as
-// "profile impairment test seed" with an optional fifth "topology" field,
-// blank lines and #-comments ignored. Indices and names are assigned in
-// file order.
+// "profile impairment test seed" with optional fifth "topology" and sixth
+// "scenario" fields ("-" holds an empty topology's place when only a
+// scenario is wanted), blank lines and #-comments ignored. Indices and
+// names are assigned in file order.
 func LoadTargets(r io.Reader) ([]Target, error) {
 	var targets []Target
 	sc := bufio.NewScanner(r)
@@ -321,8 +362,8 @@ func LoadTargets(r io.Reader) ([]Target, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 4 && len(fields) != 5 {
-			return nil, fmt.Errorf("campaign: targets line %d: want \"profile impairment test seed [topology]\", got %q", line, text)
+		if len(fields) < 4 || len(fields) > 6 {
+			return nil, fmt.Errorf("campaign: targets line %d: want \"profile impairment test seed [topology [scenario]]\", got %q", line, text)
 		}
 		if _, err := resolveProfile(fields[0]); err != nil {
 			return nil, fmt.Errorf("campaign: targets line %d: %w", line, err)
@@ -338,15 +379,22 @@ func LoadTargets(r io.Reader) ([]Target, error) {
 			return nil, fmt.Errorf("campaign: targets line %d: bad seed: %w", line, err)
 		}
 		topo := ""
-		if len(fields) == 5 {
+		if len(fields) >= 5 && fields[4] != "-" {
 			topo = fields[4]
 			if _, err := topologyByName(topo); err != nil {
 				return nil, fmt.Errorf("campaign: targets line %d: %w", line, err)
 			}
 		}
+		scn := ""
+		if len(fields) == 6 && fields[5] != "-" {
+			scn = fields[5]
+			if _, err := scenarioByName(scn); err != nil {
+				return nil, fmt.Errorf("campaign: targets line %d: %w", line, err)
+			}
+		}
 		t := Target{
 			Index: len(targets), Profile: fields[0], Impairment: fields[1],
-			Test: fields[2], Seed: seed, Topology: topo,
+			Test: fields[2], Seed: seed, Topology: topo, Scenario: scn,
 		}
 		t.Name = t.defaultName()
 		targets = append(targets, t)

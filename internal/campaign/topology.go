@@ -76,6 +76,20 @@ func Topologies() []Topology {
 				Flows:      crossFlows(rng, "r0", 2),
 			}
 		}},
+		{Name: "diamond", Build: func(rng *sim.Rand) *simnet.TopologySpec {
+			// Two disjoint paths of very different delay between the same
+			// router pair, no cross traffic: inert under static routing
+			// (BFS pins the first spec bundle, the 8ms path), and the
+			// substrate the "route-flap" scenario flaps mid-flow — packets
+			// in flight on the slow path are overtaken on the fast one.
+			return &simnet.TopologySpec{
+				Routers: []simnet.RouterSpec{{Name: "r0"}, {Name: "r1"}},
+				Links: []simnet.LinkSpec{
+					{A: "r0", B: "r1", RateBps: 20_000_000, Delay: 8 * time.Millisecond, QueueLimit: 64},
+					{A: "r0", B: "r1", RateBps: 20_000_000, Delay: time.Millisecond, QueueLimit: 64},
+				},
+			}
+		}},
 		{Name: "multihop", Build: func(rng *sim.Rand) *simnet.TopologySpec {
 			spec := &simnet.TopologySpec{
 				Routers: []simnet.RouterSpec{{Name: "r0"}, {Name: "r1"}, {Name: "r2"}},

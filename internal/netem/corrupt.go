@@ -39,6 +39,11 @@ func (c *Corrupter) Reinit(p float64, rng *sim.Rand, arena *Arena, next Node) {
 // forwarded with damage.
 func (c *Corrupter) Stats() Counters { return c.stats }
 
+// SetProb retargets the corruption probability mid-flow, the
+// scenario-timeline hook for corruption storms. At or below zero the
+// element draws no randomness.
+func (c *Corrupter) SetProb(p float64) { c.p = p }
+
 // Input implements Node.
 func (c *Corrupter) Input(f *Frame) {
 	c.stats.In++

@@ -30,6 +30,12 @@ func (l *Loss) Reinit(p float64, rng *sim.Rand, next Node) {
 // Stats returns a snapshot of the element's counters.
 func (l *Loss) Stats() Counters { return l.stats }
 
+// SetProb retargets the drop probability mid-flow, the scenario-timeline
+// hook for loss bursts with hard start/stop edges. A probability at or
+// below zero draws no randomness (sim.Rand.Bool), so an idle burst element
+// is rng-inert between edges.
+func (l *Loss) SetProb(p float64) { l.p = p }
+
 // Input implements Node.
 func (l *Loss) Input(f *Frame) {
 	l.stats.In++

@@ -39,7 +39,14 @@ type Link struct {
 // NewLink returns a link feeding next.
 func NewLink(loop *sim.Loop, cfg LinkConfig, next Node) *Link {
 	l := &Link{cfg: cfg, loop: loop, next: next}
-	l.departFn = func(any) { l.queued-- }
+	l.departFn = func(any) {
+		// Clamped, not plain decrement: a timeline that lifts the queue
+		// bound mid-flow (SetQueueLimit to 0) leaves already-scheduled
+		// departures behind, and occupancy must not go negative.
+		if l.queued > 0 {
+			l.queued--
+		}
+	}
 	l.deliverFn = func(arg any) {
 		l.stats.Out++
 		l.next.Input(arg.(*Frame))
@@ -58,6 +65,28 @@ func (l *Link) Reinit(cfg LinkConfig, next Node) {
 
 // Stats returns a snapshot of the link's counters.
 func (l *Link) Stats() Counters { return l.stats }
+
+// Rate returns the current line rate in bits per second.
+func (l *Link) Rate() int64 { return l.cfg.RateBps }
+
+// QueueLimit returns the current droptail capacity (0 = unbounded).
+func (l *Link) QueueLimit() int { return l.cfg.QueueLimit }
+
+// SetRate retargets the line rate mid-flow, the scenario-timeline hook for
+// oscillating bandwidth throttles. Frames already serializing keep the
+// departure time computed at their old rate (busyUntil is not rewritten);
+// the new rate applies from the next arrival, like a shaper reprogrammed
+// between packets. Non-positive rates mean infinitely fast, as in
+// LinkConfig.
+func (l *Link) SetRate(bps int64) { l.cfg.RateBps = bps }
+
+// SetQueueLimit retargets the droptail capacity mid-flow, the hook for
+// bufferbloat ramps. Occupancy is tracked only while a bound is in force
+// (unbounded operation elides the departure events that maintain it), so a
+// bound imposed mid-flow counts frames arriving after the edge — the
+// approximation errs toward admitting in-flight traffic, never toward
+// spurious drops of it.
+func (l *Link) SetQueueLimit(n int) { l.cfg.QueueLimit = n }
 
 // TxTime returns the serialization delay of n bytes at the link rate.
 func (l *Link) TxTime(n int) time.Duration {

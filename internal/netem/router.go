@@ -68,6 +68,23 @@ func (r *Router) AddRoute(dst netip.Addr, group int) {
 	r.routes = append(r.routes, route{dst: dst, group: group})
 }
 
+// SetRoute repoints the route for dst at a different port group — a route
+// flap. An existing entry is updated in place (frames already queued on the
+// old group's links still drain through them, exactly like a real
+// forwarding-table swap); with no existing entry the route is appended.
+func (r *Router) SetRoute(dst netip.Addr, group int) {
+	if group < 0 || group >= len(r.groups) {
+		panic("netem: router route references unknown port group")
+	}
+	for i := range r.routes {
+		if r.routes[i].dst == dst {
+			r.routes[i].group = group
+			return
+		}
+	}
+	r.routes = append(r.routes, route{dst: dst, group: group})
+}
+
 // Stats returns a snapshot of the router's counters. Dropped counts frames
 // with no matching route (or no classifiable destination).
 func (r *Router) Stats() Counters { return r.stats }

@@ -1,0 +1,136 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"reorder/internal/sim"
+)
+
+func TestScheduleAppliesInOrder(t *testing.T) {
+	loop := sim.NewLoop()
+	s := NewSchedule(loop)
+	var got []int
+	record := func(arg any) { got = append(got, arg.(int)) }
+	// Added out of order; equal-time steps must keep insertion order.
+	s.Add(sim.Time(30*time.Microsecond), record, 3)
+	s.Add(sim.Time(10*time.Microsecond), record, 1)
+	s.Add(sim.Time(20*time.Microsecond), record, 20)
+	s.Add(sim.Time(20*time.Microsecond), record, 21)
+	s.Start()
+	loop.RunUntilIdle(0)
+	want := []int{1, 20, 21, 3}
+	if len(got) != len(want) {
+		t.Fatalf("applied %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("applied %v, want %v", got, want)
+		}
+	}
+	if s.Applied() != 4 || s.Len() != 4 {
+		t.Fatalf("Applied=%d Len=%d, want 4/4", s.Applied(), s.Len())
+	}
+}
+
+func TestSchedulePastStepsClampToNow(t *testing.T) {
+	loop := sim.NewLoop()
+	loop.RunFor(time.Millisecond) // advance the clock past the step times
+	s := NewSchedule(loop)
+	fired := 0
+	s.Add(sim.Time(10*time.Microsecond), func(any) { fired++ }, nil)
+	s.Start()
+	loop.RunUntilIdle(0)
+	if fired != 1 {
+		t.Fatalf("past-dated step fired %d times, want 1", fired)
+	}
+}
+
+func TestScheduleReinitReuse(t *testing.T) {
+	loop := sim.NewLoop()
+	s := NewSchedule(loop)
+	count := 0
+	s.Add(sim.Time(time.Microsecond), func(any) { count++ }, nil)
+	s.Start()
+	loop.RunUntilIdle(0)
+	if count != 1 || s.Applied() != 1 {
+		t.Fatalf("first run: count=%d applied=%d", count, s.Applied())
+	}
+
+	loop2 := sim.NewLoop()
+	s.Reinit(loop2)
+	if s.Len() != 0 || s.Applied() != 0 {
+		t.Fatalf("Reinit left Len=%d Applied=%d", s.Len(), s.Applied())
+	}
+	s.Add(sim.Time(time.Microsecond), func(any) { count += 10 }, nil)
+	s.Add(sim.Time(2*time.Microsecond), func(any) { count += 100 }, nil)
+	s.Start()
+	loop2.RunUntilIdle(0)
+	if count != 111 || s.Applied() != 2 {
+		t.Fatalf("reused schedule: count=%d applied=%d", count, s.Applied())
+	}
+}
+
+// TestScheduleRetargetsLink is the tentpole mechanism end to end: a timer
+// mutation changes a live link's service rate mid-flow, so frames sent
+// after the edge drain at the new rate.
+func TestScheduleRetargetsLink(t *testing.T) {
+	loop := sim.NewLoop()
+	sink := &collector{loop: loop}
+	// 8 Mbps = 1 byte/µs; a 100-byte frame serializes in 100µs.
+	l := NewLink(loop, LinkConfig{RateBps: 8_000_000}, sink)
+	s := NewSchedule(loop)
+	s.Add(sim.Time(500*time.Microsecond), func(any) { l.SetRate(800_000) }, nil)
+	s.Start()
+
+	l.Input(frame(1, 100))
+	loop.RunFor(time.Millisecond) // frame 1 done at 100µs; rate edge at 500µs
+	l.Input(frame(2, 100))        // now 1000µs: serializes at 0.1 byte/µs
+	loop.RunUntilIdle(0)
+	if len(sink.times) != 2 {
+		t.Fatalf("delivered %d frames, want 2", len(sink.times))
+	}
+	if sink.times[0] != sim.Time(100*time.Microsecond) {
+		t.Errorf("pre-edge frame arrived at %v, want 100µs", sink.times[0])
+	}
+	if want := sim.Time(2 * time.Millisecond); sink.times[1] != want {
+		t.Errorf("post-edge frame arrived at %v, want %v (throttled rate)", sink.times[1], want)
+	}
+	if l.Rate() != 800_000 {
+		t.Errorf("Rate() = %d after edge, want 800000", l.Rate())
+	}
+}
+
+// TestScheduleZeroMagnitudeIsInert pins the differential-test edge: steps
+// that reassert the current value fire (Applied counts them) but change no
+// delivery time.
+func TestScheduleZeroMagnitudeIsInert(t *testing.T) {
+	run := func(withSchedule bool) []sim.Time {
+		loop := sim.NewLoop()
+		sink := &collector{loop: loop}
+		l := NewLink(loop, LinkConfig{RateBps: 8_000_000, QueueLimit: 4}, sink)
+		if withSchedule {
+			s := NewSchedule(loop)
+			for i := 1; i <= 5; i++ {
+				at := sim.Time(time.Duration(i*37) * time.Microsecond)
+				s.Add(at, func(any) { l.SetRate(l.Rate()) }, nil)
+				s.Add(at, func(any) { l.SetQueueLimit(l.QueueLimit()) }, nil)
+			}
+			s.Start()
+		}
+		for i := uint64(1); i <= 8; i++ {
+			l.Input(frame(i, 64))
+		}
+		loop.RunUntilIdle(0)
+		return append([]sim.Time(nil), sink.times...)
+	}
+	plain, scheduled := run(false), run(true)
+	if len(plain) != len(scheduled) {
+		t.Fatalf("delivery counts diverged: %d vs %d", len(plain), len(scheduled))
+	}
+	for i := range plain {
+		if plain[i] != scheduled[i] {
+			t.Fatalf("delivery %d: %v with zero-magnitude schedule, %v without", i, scheduled[i], plain[i])
+		}
+	}
+}

@@ -74,6 +74,11 @@ func (s *Swapper) probAt(t sim.Time) float64 {
 // SetFlushAfter overrides the hold timeout.
 func (s *Swapper) SetFlushAfter(d time.Duration) { s.flush = d }
 
+// SetProb retargets the fixed swap probability mid-flow and drops any
+// time-varying probability function, the scenario-timeline hook for
+// reordering bursts. At or below zero the element draws no randomness.
+func (s *Swapper) SetProb(p float64) { s.prob, s.fixed = nil, p }
+
 // Stats returns a snapshot of the swapper's counters. Swapped counts
 // completed exchanges.
 func (s *Swapper) Stats() Counters { return s.stats }

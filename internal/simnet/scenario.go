@@ -1,0 +1,289 @@
+package simnet
+
+import (
+	"net/netip"
+	"time"
+
+	"reorder/internal/netem"
+	"reorder/internal/sim"
+)
+
+// Dir names one direction of the probe's path.
+type Dir int
+
+const (
+	// DirForward is probe → server, DirReverse is server → probe.
+	DirForward Dir = iota
+	DirReverse
+)
+
+// ScenarioOp is the kind of one timeline mutation.
+type ScenarioOp int
+
+const (
+	// OpLinkRate retargets the direction's access-link rate (Rate; at or
+	// below zero reasserts the current rate — a deliberate no-op edge).
+	OpLinkRate ScenarioOp = iota
+	// OpLinkQueue retargets the access link's droptail capacity (Queue;
+	// negative keeps the current capacity, zero lifts the bound).
+	OpLinkQueue
+	// OpLoss retargets the direction's drop probability (Prob).
+	OpLoss
+	// OpCorrupt retargets the direction's corruption probability (Prob).
+	OpCorrupt
+	// OpSwap retargets the direction's adjacent-swap probability (Prob).
+	OpSwap
+	// OpRouteFlap repoints a topology router's route (Router, Dst) at the
+	// port group of another spec link bundle (Link, an index into
+	// TopologySpec.Links). Ignored on point-to-point scenarios and when the
+	// named router does not terminate that bundle.
+	OpRouteFlap
+	// OpMiddlebox flips the direction's middlebox on or off (Active), the
+	// hard start/stop edge for adversarial behavior.
+	OpMiddlebox
+)
+
+// TimelineStep is one declarative mutation at virtual time At. Which other
+// fields are read depends on Op; see the ScenarioOp constants.
+type TimelineStep struct {
+	At time.Duration
+	Op ScenarioOp
+
+	Dir    Dir
+	Rate   int64
+	Queue  int
+	Prob   float64
+	Router string
+	Dst    string // route-flap destination: "server" or "probe"
+	Link   int
+	Active bool
+}
+
+// ScenarioSpec is the declarative time-varying/adversarial overlay on a
+// scenario: optional per-direction middlebox elements plus a timeline of
+// impairment mutations applied mid-flow by loop timers (netem.Schedule).
+// A nil spec — and a spec with no middleboxes and no steps — is the static
+// scenario, byte-identical to builds before scenarios existed. Specs are
+// shared, read-only catalog values: the builder never mutates one.
+type ScenarioSpec struct {
+	// Middlebox and ReverseMiddlebox, when set, insert an adversarial
+	// element (netem.Middlebox) at the probe-side entry of the forward
+	// (resp. server-side entry of the reverse) path.
+	Middlebox        *netem.MiddleboxConfig
+	ReverseMiddlebox *netem.MiddleboxConfig
+	// Steps is the timeline, applied in At order (stable for equal times).
+	Steps []TimelineStep
+}
+
+// middlebox returns the middlebox config for direction d, nil for none.
+func (s *ScenarioSpec) middlebox(d Dir) *netem.MiddleboxConfig {
+	if s == nil {
+		return nil
+	}
+	if d == DirForward {
+		return s.Middlebox
+	}
+	return s.ReverseMiddlebox
+}
+
+// pathNeeds flags elements a direction's path must materialize even at zero
+// static probability, because a timeline step retargets them mid-flow.
+type pathNeeds struct {
+	loss, corrupt, swap bool
+}
+
+// needs scans the timeline for elements direction d must pre-build. Forcing
+// an element consumes an extra construction fork, which is why only
+// scenario-bearing configs (whose campaign seeds are scenario-mixed) ever
+// have non-zero needs.
+func (s *ScenarioSpec) needs(d Dir) pathNeeds {
+	var need pathNeeds
+	if s == nil {
+		return need
+	}
+	for i := range s.Steps {
+		st := &s.Steps[i]
+		if st.Dir != d {
+			continue
+		}
+		switch st.Op {
+		case OpLoss:
+			need.loss = true
+		case OpCorrupt:
+			need.corrupt = true
+		case OpSwap:
+			need.swap = true
+		}
+	}
+	return need
+}
+
+// dirElems records the retargetable elements of one direction of the live
+// topology, filled during construction and consumed by timeline resolution.
+type dirElems struct {
+	link      *netem.Link
+	loss      *netem.Loss
+	corrupter *netem.Corrupter
+	swapper   *netem.Swapper
+	mb        *netem.Middlebox
+}
+
+// resolvedStep is a TimelineStep bound to the live topology: element
+// pointers instead of names and indices, ready to apply without lookups.
+type resolvedStep struct {
+	at      sim.Time
+	op      ScenarioOp
+	link    *netem.Link
+	loss    *netem.Loss
+	corrupt *netem.Corrupter
+	swap    *netem.Swapper
+	mb      *netem.Middlebox
+	router  *netem.Router
+	dst     netip.Addr
+	group   int
+	rate    int64
+	queue   int
+	prob    float64
+	active  bool
+}
+
+// startTimeline resolves cfg.Scenario's steps against the just-built
+// topology and arms the pooled schedule. It draws no randomness — timeline
+// resolution is pure plumbing, so a scenario's schedule never shifts the
+// construction streams. Steps that reference elements the scenario did not
+// materialize (or routes a point-to-point build has none of) are silently
+// dropped: the catalog is declarative and a step that cannot bind is a
+// no-op, not a panic, exactly like an impairment probability of zero.
+func (n *Net) startTimeline(cfg Config) {
+	n.scnLive = false
+	scn := cfg.Scenario
+	if scn == nil || len(scn.Steps) == 0 {
+		return
+	}
+	n.scnLive = true
+	if n.pool.schedule == nil {
+		n.pool.schedule = netem.NewSchedule(n.Loop)
+		n.applyFn = n.applyStep
+	} else {
+		n.pool.schedule.Reinit(n.Loop)
+	}
+	steps := n.pool.scnSteps[:0]
+	for i := range scn.Steps {
+		if rs, ok := n.resolveStep(cfg, &scn.Steps[i]); ok {
+			steps = append(steps, rs)
+		}
+	}
+	n.pool.scnSteps = steps
+	// Pointers into scnSteps are taken only after the slice stops growing.
+	for i := range steps {
+		n.pool.schedule.Add(steps[i].at, n.applyFn, &steps[i])
+	}
+	n.pool.schedule.Start()
+}
+
+// resolveStep binds one spec step to live elements, reporting false when
+// the step has nothing to act on in this build.
+func (n *Net) resolveStep(cfg Config, st *TimelineStep) (resolvedStep, bool) {
+	rs := resolvedStep{at: sim.Time(0).Add(st.At), op: st.Op}
+	d := &n.dirs[dirIndex(st.Dir)]
+	switch st.Op {
+	case OpLinkRate:
+		rs.link, rs.rate = d.link, st.Rate
+		return rs, rs.link != nil
+	case OpLinkQueue:
+		rs.link, rs.queue = d.link, st.Queue
+		return rs, rs.link != nil
+	case OpLoss:
+		rs.loss, rs.prob = d.loss, st.Prob
+		return rs, rs.loss != nil
+	case OpCorrupt:
+		rs.corrupt, rs.prob = d.corrupter, st.Prob
+		return rs, rs.corrupt != nil
+	case OpSwap:
+		rs.swap, rs.prob = d.swapper, st.Prob
+		return rs, rs.swap != nil
+	case OpMiddlebox:
+		rs.mb, rs.active = d.mb, st.Active
+		return rs, rs.mb != nil
+	case OpRouteFlap:
+		t := cfg.Topology
+		if !t.isGraph() || st.Link < 0 || st.Link >= len(t.Links) {
+			return rs, false
+		}
+		ri := t.routerIndex(st.Router)
+		if ri < 0 {
+			return rs, false
+		}
+		l := &t.Links[st.Link]
+		g := &n.pool.graph
+		switch ri {
+		case t.routerIndex(l.A):
+			rs.group = g.groupAB[st.Link]
+		case t.routerIndex(l.B):
+			rs.group = g.groupBA[st.Link]
+		default:
+			return rs, false // bundle does not terminate at this router
+		}
+		switch st.Dst {
+		case "server":
+			rs.dst = n.serverAddr
+		case "probe":
+			rs.dst = n.probeAddr
+		default:
+			return rs, false
+		}
+		rs.router = n.Routers[ri]
+		return rs, true
+	}
+	return rs, false
+}
+
+// applyStep is the schedule's single cached callback: one switch over the
+// bound step, no per-step closures.
+func (n *Net) applyStep(arg any) {
+	s := arg.(*resolvedStep)
+	switch s.op {
+	case OpLinkRate:
+		if s.rate > 0 {
+			s.link.SetRate(s.rate)
+		} else {
+			// Reassert the current rate: a genuine write, zero effect —
+			// the edge the zero-magnitude differential tests ride.
+			s.link.SetRate(s.link.Rate())
+		}
+	case OpLinkQueue:
+		if s.queue >= 0 {
+			s.link.SetQueueLimit(s.queue)
+		} else {
+			s.link.SetQueueLimit(s.link.QueueLimit())
+		}
+	case OpLoss:
+		s.loss.SetProb(s.prob)
+	case OpCorrupt:
+		s.corrupt.SetProb(s.prob)
+	case OpSwap:
+		s.swap.SetProb(s.prob)
+	case OpMiddlebox:
+		s.mb.SetActive(s.active)
+	case OpRouteFlap:
+		s.router.SetRoute(s.dst, s.group)
+	}
+}
+
+// dirIndex maps a Dir to its dirElems slot, tolerating out-of-range values
+// from fuzzed specs.
+func dirIndex(d Dir) int {
+	if d == DirReverse {
+		return 1
+	}
+	return 0
+}
+
+// ScenarioApplied returns how many timeline steps have fired in the current
+// build (zero when the build carries no scenario).
+func (n *Net) ScenarioApplied() uint64 {
+	if !n.scnLive {
+		return 0
+	}
+	return n.pool.schedule.Applied()
+}

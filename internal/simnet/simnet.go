@@ -78,6 +78,11 @@ type Config struct {
 	// degenerate two-node case — the same constructor builds the classic
 	// prober↔target pipe, byte-identically.
 	Topology *TopologySpec
+	// Scenario, when set, overlays a time-varying/adversarial scenario on
+	// the topology: per-direction middlebox elements plus a timeline of
+	// impairment mutations driven by loop timers. A nil Scenario is the
+	// static case, byte-identical to builds before scenarios existed.
+	Scenario *ScenarioSpec
 	// Server is the host profile. Ignored if Backends is non-empty.
 	Server host.Profile
 	// Backends, when non-empty, places a transparent load balancer in
@@ -142,6 +147,16 @@ type Net struct {
 
 	// probeSink is the reverse path's terminal node, built once.
 	probeSink netem.Node
+
+	// dirs records each direction's retargetable elements (access link,
+	// loss, corrupter, swapper, middlebox) as the current build wires them,
+	// for scenario-timeline resolution. Cleared per build.
+	dirs [2]dirElems
+
+	// applyFn is the schedule's cached step callback; scnLive reports
+	// whether the current build armed a timeline.
+	applyFn func(any)
+	scnLive bool
 }
 
 // elemRng pairs a pooled element with the random stream it was built on;
@@ -167,6 +182,12 @@ type topoPool struct {
 	freeFragmenters, usedFragmenters []*netem.Fragmenter
 	freeRouters, usedRouters         []*netem.Router
 	freeSenders, usedSenders         []senderEntry
+	freeMiddleboxes, usedMiddleboxes []elemRng[*netem.Middlebox]
+
+	// schedule and scnSteps persist the scenario timeline machinery; one
+	// schedule per net, reinitialized per scenario-bearing build.
+	schedule *netem.Schedule
+	scnSteps []resolvedStep
 
 	// graph holds the topology builder's reusable scratch (next-hop
 	// tables, BFS queues), so rebuilding a routed graph per Reset stays
@@ -218,6 +239,8 @@ func (p *topoPool) recycle() {
 	p.usedRouters = p.usedRouters[:0]
 	p.freeSenders = append(p.freeSenders, p.usedSenders...)
 	p.usedSenders = p.usedSenders[:0]
+	p.freeMiddleboxes = append(p.freeMiddleboxes, p.usedMiddleboxes...)
+	p.usedMiddleboxes = p.usedMiddleboxes[:0]
 	if len(p.usedHosts) > 0 && p.freeHosts == nil {
 		p.freeHosts = make(map[string][]elemRng[*host.Host])
 	}
@@ -304,25 +327,42 @@ func (n *Net) build(cfg Config) {
 		n.probeSink = netem.NodeFunc(func(f *netem.Frame) { n.probe.deliver(f) })
 	}
 
+	n.dirs = [2]dirElems{}
+	scn := cfg.Scenario
+
 	// Routed graphs take the topology builder; everything else — including
 	// an explicit empty TopologySpec, the degenerate two-node case — is the
-	// classic point-to-point pipe.
+	// classic point-to-point pipe. Both wire any scenario middleboxes at
+	// the probe-access path entries and finish by arming the scenario
+	// timeline (a no-op without one).
 	if cfg.Topology.isGraph() {
 		n.buildGraph(cfg, rng, tap)
+		n.startTimeline(cfg)
 		return
 	}
 
-	// Reverse direction: host egress tap -> reverse path -> probe ingress
-	// tap -> probe inbox.
-	revEntry := n.buildPath(n.pathRng(1, 2, rng), cfg.Reverse.defaults(), tap(n.ProbeIngress, n.probeSink))
+	// Reverse direction: host egress tap -> [middlebox] -> reverse path ->
+	// probe ingress tap -> probe inbox.
+	revEntry := n.buildPath(n.pathRng(1, 2, rng), cfg.Reverse.defaults(), tap(n.ProbeIngress, n.probeSink), &n.dirs[1], scn.needs(DirReverse))
+	if mc := scn.middlebox(DirReverse); mc != nil {
+		mb := n.getMiddlebox(*mc, rng, 9, revEntry)
+		n.dirs[1].mb = mb
+		revEntry = mb
+	}
 	hostOut := tap(n.HostEgress, revEntry)
 
 	serverSide := n.buildServers(cfg, rng, hostOut)
 
-	// Forward direction: probe egress tap -> forward path -> host ingress
-	// tap -> server side.
-	fwdEntry := n.buildPath(n.pathRng(0, 1, rng), cfg.Forward.defaults(), tap(n.HostIngress, serverSide))
+	// Forward direction: probe egress tap -> [middlebox] -> forward path ->
+	// host ingress tap -> server side.
+	fwdEntry := n.buildPath(n.pathRng(0, 1, rng), cfg.Forward.defaults(), tap(n.HostIngress, serverSide), &n.dirs[0], scn.needs(DirForward))
+	if mc := scn.middlebox(DirForward); mc != nil {
+		mb := n.getMiddlebox(*mc, rng, 8, fwdEntry)
+		n.dirs[0].mb = mb
+		fwdEntry = mb
+	}
 	n.probe.egress = tap(n.ProbeEgress, fwdEntry)
+	n.startTimeline(cfg)
 }
 
 // buildServers constructs the published-address endpoint — one host, or a
@@ -399,8 +439,11 @@ func (n *Net) getHost(p host.Profile, addr netip.Addr, rng *sim.Rand, label uint
 // buildPath composes a direction's elements ending at dst and returns the
 // entry node, drawing every element from the topology pool. Element order:
 // access link (serialization + propagation), jitter, loss, swapper,
-// striped trunk.
-func (n *Net) buildPath(rng *sim.Rand, spec PathSpec, dst netem.Node) netem.Node {
+// striped trunk. The direction's retargetable elements are recorded in d
+// for scenario-timeline resolution, and need forces loss/corrupter/swapper
+// construction at probability zero (rng-inert at runtime) so a timeline
+// has an element to retarget mid-flow.
+func (n *Net) buildPath(rng *sim.Rand, spec PathSpec, dst netem.Node, d *dirElems, need pathNeeds) netem.Node {
 	node := dst
 	if spec.Trunk != nil {
 		node = n.getTrunk(*spec.Trunk, rng, 4, node)
@@ -415,15 +458,19 @@ func (n *Net) buildPath(rng *sim.Rand, spec PathSpec, dst netem.Node) netem.Node
 		node = n.getPriority(*spec.Priority, node)
 	}
 	if spec.SwapProbFn != nil {
-		node = n.getSwapper(spec.SwapProbFn, 0, rng, 3, node)
-	} else if spec.SwapProb > 0 {
-		node = n.getSwapper(nil, spec.SwapProb, rng, 3, node)
+		d.swapper = n.getSwapper(spec.SwapProbFn, 0, rng, 3, node)
+		node = d.swapper
+	} else if spec.SwapProb > 0 || need.swap {
+		d.swapper = n.getSwapper(nil, spec.SwapProb, rng, 3, node)
+		node = d.swapper
 	}
-	if spec.Corrupt > 0 {
-		node = n.getCorrupter(spec.Corrupt, rng, 7, node)
+	if spec.Corrupt > 0 || need.corrupt {
+		d.corrupter = n.getCorrupter(spec.Corrupt, rng, 7, node)
+		node = d.corrupter
 	}
-	if spec.Loss > 0 {
-		node = n.getLoss(spec.Loss, rng, 2, node)
+	if spec.Loss > 0 || need.loss {
+		d.loss = n.getLoss(spec.Loss, rng, 2, node)
+		node = d.loss
 	}
 	if spec.Jitter > 0 {
 		node = n.getDelay(0, spec.Jitter, rng, 1, node)
@@ -431,7 +478,8 @@ func (n *Net) buildPath(rng *sim.Rand, spec PathSpec, dst netem.Node) netem.Node
 	if spec.MTU > 0 {
 		node = n.getFragmenter(spec.MTU, node)
 	}
-	return n.getLink(netem.LinkConfig{RateBps: spec.LinkRate, PropDelay: spec.Delay}, node)
+	d.link = n.getLink(netem.LinkConfig{RateBps: spec.LinkRate, PropDelay: spec.Delay}, node)
+	return d.link
 }
 
 // The pooled element getters below all follow one shape: pop a free
@@ -560,6 +608,21 @@ func (n *Net) getARQ(cfg netem.ARQConfig, rng *sim.Rand, label uint64, next nete
 	l := netem.NewARQLink(n.Loop, cfg, child, next)
 	n.pool.usedARQs = append(n.pool.usedARQs, elemRng[*netem.ARQLink]{el: l, rng: child})
 	return l
+}
+
+func (n *Net) getMiddlebox(cfg netem.MiddleboxConfig, rng *sim.Rand, label uint64, next netem.Node) *netem.Middlebox {
+	if k := len(n.pool.freeMiddleboxes); k > 0 {
+		p := n.pool.freeMiddleboxes[k-1]
+		n.pool.freeMiddleboxes = n.pool.freeMiddleboxes[:k-1]
+		rng.ForkInto(p.rng, label)
+		p.el.Reinit(cfg, n.Loop, p.rng, n.arena, n.IDs, next)
+		n.pool.usedMiddleboxes = append(n.pool.usedMiddleboxes, p)
+		return p.el
+	}
+	child := rng.Fork(label)
+	m := netem.NewMiddlebox(cfg, n.Loop, child, n.arena, n.IDs, next)
+	n.pool.usedMiddleboxes = append(n.pool.usedMiddleboxes, elemRng[*netem.Middlebox]{el: m, rng: child})
+	return m
 }
 
 func (n *Net) getPriority(cfg netem.PriorityConfig, next netem.Node) *netem.PriorityQueue {

@@ -14,6 +14,11 @@ type Stats struct {
 	ElemSwapped  uint64 // adjacent exchanges performed
 	Materialized uint64 // lazy wire-byte encodes (zero-copy escape hatch)
 	FramesBorn   uint64 // frame IDs issued
+
+	// Adversarial-middlebox action counts (zero without a scenario).
+	MiddleboxInjected  uint64 // forged RST/FIN segments originated
+	MiddleboxHoles     uint64 // data segments swallowed
+	MiddleboxRewritten uint64 // segments forwarded with rewritten headers
 }
 
 func (s *Stats) add(c netem.Counters) {
@@ -59,6 +64,13 @@ func (n *Net) Stats() Stats {
 	}
 	for _, e := range p.usedRouters {
 		s.add(e.Stats())
+	}
+	for _, e := range p.usedMiddleboxes {
+		s.add(e.el.Stats())
+		mb := e.el.MiddleboxStats()
+		s.MiddleboxInjected += mb.Injected
+		s.MiddleboxHoles += mb.Holes
+		s.MiddleboxRewritten += mb.Rewritten
 	}
 	if n.LB != nil {
 		s.add(n.LB.Stats())

@@ -237,9 +237,16 @@ func (n *Net) buildGraph(cfg Config, rng *sim.Rand, tap func(*trace.Capture, net
 		}
 	}
 
-	// Probe access, reverse direction: probe router -> reverse path (the
-	// scenario's Reverse impairments) -> probe ingress tap -> probe inbox.
-	revEntry := n.buildPath(n.pathRng(1, 2, rng), cfg.Reverse.defaults(), tap(n.ProbeIngress, n.probeSink))
+	// Probe access, reverse direction: probe router -> [middlebox] ->
+	// reverse path (the scenario's Reverse impairments) -> probe ingress
+	// tap -> probe inbox.
+	scn := cfg.Scenario
+	revEntry := netem.Node(n.buildPath(n.pathRng(1, 2, rng), cfg.Reverse.defaults(), tap(n.ProbeIngress, n.probeSink), &n.dirs[1], scn.needs(DirReverse)))
+	if mc := scn.middlebox(DirReverse); mc != nil {
+		mb := n.getMiddlebox(*mc, rng, 9, revEntry)
+		n.dirs[1].mb = mb
+		revEntry = mb
+	}
 	addRouteAll(n.probeAddr, pi, n.Routers[pi].AddGroup(revEntry))
 
 	// Server(s) behind the target router: host egress tap -> access uplink
@@ -286,9 +293,14 @@ func (n *Net) buildGraph(cfg Config, rng *sim.Rand, tap func(*trace.Capture, net
 		addRouteAll(src, ri, n.Routers[ri].AddGroup(down))
 	}
 
-	// Probe access, forward direction: probe egress tap -> forward path
-	// (the scenario's Forward impairments) -> probe router.
-	fwdEntry := n.buildPath(n.pathRng(0, 1, rng), cfg.Forward.defaults(), n.Routers[pi])
+	// Probe access, forward direction: probe egress tap -> [middlebox] ->
+	// forward path (the scenario's Forward impairments) -> probe router.
+	fwdEntry := netem.Node(n.buildPath(n.pathRng(0, 1, rng), cfg.Forward.defaults(), n.Routers[pi], &n.dirs[0], scn.needs(DirForward)))
+	if mc := scn.middlebox(DirForward); mc != nil {
+		mb := n.getMiddlebox(*mc, rng, 8, fwdEntry)
+		n.dirs[0].mb = mb
+		fwdEntry = mb
+	}
 	n.probe.egress = tap(n.ProbeEgress, fwdEntry)
 }
 
