@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -26,6 +25,7 @@ import (
 	"reorder/internal/campaign/dist"
 	"reorder/internal/cli"
 	"reorder/internal/experiments"
+	"reorder/internal/faultnet"
 	"reorder/internal/obs"
 )
 
@@ -34,49 +34,52 @@ func main() { cli.Main(run) }
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	var (
-		profiles     = fs.String("profiles", "", "comma-separated host profiles (default: all)")
-		impairments  = fs.String("impairments", "", "comma-separated path impairments (default: all)")
-		tests        = fs.String("tests", "", "comma-separated techniques (default: single,dual,syn,transfer)")
-		seeds        = fs.Int("seeds", 0, "seed replicas per profile×impairment×test combination (0 = auto: 7, or 2 with -quick)")
-		baseSeed     = fs.Uint64("seed", 719, "base seed; fixes every scenario draw in the campaign")
-		topologies   = fs.String("topology", "", "comma-separated topology graphs from the catalog (\"p2p\" is the point-to-point control); adds a topology dimension to the enumeration")
-		scenarioList = fs.String("scenario", "", "comma-separated fault schedules from the scenario catalog; adds a time-varying/adversarial dimension to the enumeration")
-		congestion   = fs.Bool("congestion", false, "run the congestion experiment instead of a raw campaign: clean-path probes over routed topologies, techniques cross-checked for agreement")
-		chaos        = fs.Bool("chaos", false, "run the chaos experiment instead of a raw campaign: probes under every fault schedule, techniques cross-checked for agreement")
-		listCatalogs = fs.Bool("list", false, "print the profile, impairment, topology and scenario catalogs and exit")
-		targetsPath  = fs.String("targets", "", "targets file (profile impairment test seed [topology [scenario]] per line); overrides enumeration")
-		samples      = fs.Int("samples", 8, "samples per measurement")
-		workers      = fs.Int("workers", 16, "concurrent probe workers")
-		retries      = fs.Int("retries", 1, "extra attempts for a failed target")
-		backoff      = fs.Duration("backoff", 50*time.Millisecond, "delay before first retry (doubles per attempt)")
-		rate         = fs.Float64("rate", 0, "max probe launches per second (0 = unlimited)")
-		window       = fs.Int("window", 0, "max targets probed ahead of the in-order emit frontier; bounds re-sequencing memory (0 = adaptive from observed completion spread, capped at max(4×workers, 64))")
-		batch        = fs.Int("batch", 0, "targets per dispatch span: workers claim contiguous runs of this many targets and results flush to the sinks in whole pre-encoded batches (0 = adaptive; output is byte-identical at any batch size)")
-		out          = fs.String("out", "", "stream per-target results as JSONL to this path")
-		csvPath      = fs.String("csv", "", "stream per-target results as CSV to this path")
-		ckpt         = fs.String("checkpoint", "", "checkpoint file enabling -resume")
-		resume       = fs.Bool("resume", false, "resume an interrupted campaign from -checkpoint")
-		forceRestart = fs.Bool("force-restart", false, "archive existing -out/-csv/-checkpoint files (to <path>.oldN) and start fresh; the escape hatch when -resume refuses a changed config")
-		stopAfter    = fs.Int("stop-after", 0, "stop cleanly after this many results (0 = run to completion)")
-		listTargets  = fs.Bool("list-targets", false, "print the enumerated target list and exit")
-		progress     = fs.Duration("progress", 0, "print progress to stderr at this interval, with cumulative and EWMA instantaneous rates (0 = off)")
-		quick        = fs.Bool("quick", false, "small campaign (2 seeds, single+syn) for smoke runs")
-		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this path")
-		memProfile   = fs.String("memprofile", "", "write an allocation profile (taken at completion) to this path")
-		listen       = fs.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /campaign/progress, /debug/pprof); \":0\" picks a free port")
-		tracePath    = fs.String("trace", "", "write a structured JSONL run trace (span lifecycle, retries, checkpoints) to this path")
-		statsReport  = fs.Bool("stats", false, "append a telemetry report (scheduler, probe latency, sim, netem, sinks) to the summary")
-		workerMode   = fs.Bool("worker", false, "run as a distributed campaign worker: probe spans leased by the coordinator at -connect (enumeration flags must match the coordinator's)")
-		connect      = fs.String("connect", "", "coordinator address for -worker (host:port, or a unix socket path)")
-		coordinate   = fs.String("coordinate", "", "run as a distributed campaign coordinator listening on this address; workers connect with -worker -connect")
-		spawnN       = fs.Int("spawn", 0, "coordinate and fork this many local worker processes over an auto-created unix socket (combine with -coordinate to also accept remote workers)")
-		expectN      = fs.Int("expect", 0, "worker processes expected to connect; sizes the per-worker rate-budget split and dispatch window (default: -spawn count, else 1)")
-		leaseTimeout = fs.Duration("lease-timeout", 0, "re-issue a silent worker's leased spans after this long (default 15s)")
+		profiles      = fs.String("profiles", "", "comma-separated host profiles (default: all)")
+		impairments   = fs.String("impairments", "", "comma-separated path impairments (default: all)")
+		tests         = fs.String("tests", "", "comma-separated techniques (default: single,dual,syn,transfer)")
+		seeds         = fs.Int("seeds", 0, "seed replicas per profile×impairment×test combination (0 = auto: 7, or 2 with -quick)")
+		baseSeed      = fs.Uint64("seed", 719, "base seed; fixes every scenario draw in the campaign")
+		topologies    = fs.String("topology", "", "comma-separated topology graphs from the catalog (\"p2p\" is the point-to-point control); adds a topology dimension to the enumeration")
+		scenarioList  = fs.String("scenario", "", "comma-separated fault schedules from the scenario catalog; adds a time-varying/adversarial dimension to the enumeration")
+		congestion    = fs.Bool("congestion", false, "run the congestion experiment instead of a raw campaign: clean-path probes over routed topologies, techniques cross-checked for agreement")
+		chaos         = fs.Bool("chaos", false, "run the chaos experiment instead of a raw campaign: probes under every fault schedule, techniques cross-checked for agreement")
+		listCatalogs  = fs.Bool("list", false, "print the profile, impairment, topology and scenario catalogs and exit")
+		targetsPath   = fs.String("targets", "", "targets file (profile impairment test seed [topology [scenario]] per line); overrides enumeration")
+		samples       = fs.Int("samples", 8, "samples per measurement")
+		workers       = fs.Int("workers", 16, "concurrent probe workers")
+		retries       = fs.Int("retries", 1, "extra attempts for a failed target")
+		backoff       = fs.Duration("backoff", 50*time.Millisecond, "delay before first retry (doubles per attempt)")
+		rate          = fs.Float64("rate", 0, "max probe launches per second (0 = unlimited)")
+		window        = fs.Int("window", 0, "max targets probed ahead of the in-order emit frontier; bounds re-sequencing memory (0 = adaptive from observed completion spread, capped at max(4×workers, 64))")
+		batch         = fs.Int("batch", 0, "targets per dispatch span: workers claim contiguous runs of this many targets and results flush to the sinks in whole pre-encoded batches (0 = adaptive; output is byte-identical at any batch size)")
+		out           = fs.String("out", "", "stream per-target results as JSONL to this path")
+		csvPath       = fs.String("csv", "", "stream per-target results as CSV to this path")
+		ckpt          = fs.String("checkpoint", "", "checkpoint file enabling -resume")
+		resume        = fs.Bool("resume", false, "resume an interrupted campaign from -checkpoint")
+		forceRestart  = fs.Bool("force-restart", false, "archive existing -out/-csv/-checkpoint files (to <path>.oldN) and start fresh; the escape hatch when -resume refuses a changed config")
+		stopAfter     = fs.Int("stop-after", 0, "stop cleanly after this many results (0 = run to completion)")
+		listTargets   = fs.Bool("list-targets", false, "print the enumerated target list and exit")
+		progress      = fs.Duration("progress", 0, "print progress to stderr at this interval, with cumulative and EWMA instantaneous rates (0 = off)")
+		quick         = fs.Bool("quick", false, "small campaign (2 seeds, single+syn) for smoke runs")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the campaign to this path")
+		memProfile    = fs.String("memprofile", "", "write an allocation profile (taken at completion) to this path")
+		listen        = fs.String("listen", "", "serve live telemetry over HTTP on this address (/metrics, /campaign/progress, /debug/pprof); \":0\" picks a free port")
+		tracePath     = fs.String("trace", "", "write a structured JSONL run trace (span lifecycle, retries, checkpoints) to this path")
+		statsReport   = fs.Bool("stats", false, "append a telemetry report (scheduler, probe latency, sim, netem, sinks) to the summary")
+		workerMode    = fs.Bool("worker", false, "run as a distributed campaign worker: probe spans leased by the coordinator at -connect (enumeration flags must match the coordinator's)")
+		connect       = fs.String("connect", "", "coordinator address for -worker (host:port, or a unix socket path)")
+		coordinate    = fs.String("coordinate", "", "run as a distributed campaign coordinator listening on this address; workers connect with -worker -connect")
+		spawnN        = fs.Int("spawn", 0, "coordinate and fork this many local worker processes over an auto-created unix socket (combine with -coordinate to also accept remote workers)")
+		expectN       = fs.Int("expect", 0, "worker processes expected to connect; sizes the per-worker rate-budget split and dispatch window (default: -spawn count, else 1)")
+		leaseTimeout  = fs.Duration("lease-timeout", 0, "re-issue a silent worker's leased spans after this long (default 15s)")
+		maxRespawn    = fs.Int("max-respawn", 2, "total respawns of crashed -spawn workers before the coordinator drains (0 = never respawn)")
+		reconnBackoff = fs.Duration("reconnect-backoff", 100*time.Millisecond, "worker base delay between reconnect attempts after a lost coordinator connection (doubles with jitter per consecutive failure)")
+		faultSeed     = fs.Uint64("faultnet", 0, "inject seeded control-plane faults (resets, stalls, dup/truncated lines, accept failures) into coordinator connections — chaos rehearsal for the dist plane; 0 = off")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
-	if err := validateFlags(fs, *scenarioList, *connect, *workerMode, *spawnN, *coordinate); err != nil {
+	if err := validateFlags(fs, *scenarioList, *connect, *workerMode, *spawnN, *coordinate, *maxRespawn, *faultSeed); err != nil {
 		return err
 	}
 	if *listCatalogs {
@@ -197,10 +200,11 @@ func run(args []string, stdout io.Writer) error {
 		// in-flight span instead of dying with the lease.
 		signal.Ignore(os.Interrupt)
 		return dist.RunWorker(dist.WorkerConfig{
-			Connect: *connect,
-			Targets: targets,
-			Samples: *samples,
-			Obs:     obs.NewCampaign(1),
+			Connect:          *connect,
+			Targets:          targets,
+			Samples:          *samples,
+			Obs:              obs.NewCampaign(1),
+			ReconnectBackoff: *reconnBackoff,
 		})
 	}
 	if *connect != "" {
@@ -355,7 +359,8 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		childArgs = append(childArgs, "-samples", strconv.Itoa(*samples))
-		sum, err = runCoordinator(cfg, *coordinate, *spawnN, expect, *batch, *window, *leaseTimeout, childArgs)
+		childArgs = append(childArgs, "-reconnect-backoff", reconnBackoff.String())
+		sum, err = runCoordinator(cfg, *coordinate, *spawnN, expect, *batch, *window, *leaseTimeout, *maxRespawn, *faultSeed, childArgs)
 		workersDesc = fmt.Sprintf("%d worker procs expected", expect)
 	} else {
 		sum, err = campaign.Run(cfg)
@@ -382,11 +387,13 @@ func run(args []string, stdout io.Writer) error {
 
 // runCoordinator runs the distributed-campaign coordinator: listen (on an
 // auto-created unix socket when no address was given), fork local workers
-// when asked, serve the lease protocol, and reap the children. Worker
-// failures after a successful run are advisory — their leases were
-// re-issued and the output is complete.
+// under a respawning supervisor when asked, serve the lease protocol, and
+// reap the children. Worker failures after a successful run are advisory —
+// their leases were re-issued and the output is complete. Exhausting the
+// respawn budget folds into the ordinary interrupt path: the coordinator
+// drains, checkpoints, and the run resumes later.
 func runCoordinator(cfg campaign.Config, addr string, spawnN, expect, spanSize, window int,
-	leaseTimeout time.Duration, childArgs []string) (*campaign.Summary, error) {
+	leaseTimeout time.Duration, maxRespawn int, faultSeed uint64, childArgs []string) (*campaign.Summary, error) {
 	if addr == "" {
 		dir, err := os.MkdirTemp("", "campaign-dist-")
 		if err != nil {
@@ -401,17 +408,42 @@ func runCoordinator(cfg campaign.Config, addr string, spawnN, expect, spanSize, 
 	}
 	defer ln.Close()
 	fmt.Fprintf(os.Stderr, "campaign: coordinating on %s\n", addr)
-	var cmds []*exec.Cmd
+	if faultSeed != 0 {
+		// Chaos rehearsal: every worker connection runs through the seeded
+		// fault injector. The self-healing machinery (reconnects, lease
+		// re-issue, respawn) must still produce byte-identical output.
+		ln = faultnet.Wrap(ln, faultnet.Chaos(faultSeed))
+		fmt.Fprintf(os.Stderr, "campaign: faultnet enabled (seed %d)\n", faultSeed)
+	}
+	var sup *dist.Supervisor
 	if spawnN > 0 {
 		exe, err := os.Executable()
 		if err != nil {
 			return nil, err
 		}
 		args := append([]string{"-worker", "-connect", addr}, childArgs...)
-		cmds, err = dist.Spawn(spawnN, exe, args, os.Stderr)
+		sup, err = dist.Supervise(spawnN, exe, args, maxRespawn, os.Stderr, cfg.Obs)
 		if err != nil {
 			return nil, err
 		}
+		// A spent respawn budget means the fleet cannot finish; merge it
+		// into the interrupt channel so Serve drains and checkpoints
+		// instead of waiting forever for dead workers.
+		orig := cfg.Interrupt
+		merged := make(chan struct{})
+		stopMerge := make(chan struct{})
+		defer close(stopMerge)
+		go func() {
+			select {
+			case <-orig:
+			case <-sup.Exhausted():
+				fmt.Fprintln(os.Stderr, "campaign: worker respawn budget exhausted — draining")
+			case <-stopMerge:
+				return
+			}
+			close(merged)
+		}()
+		cfg.Interrupt = merged
 	}
 	sum, err := dist.Serve(dist.Config{
 		Campaign:      cfg,
@@ -422,14 +454,14 @@ func runCoordinator(cfg campaign.Config, addr string, spawnN, expect, spanSize, 
 		ExpectWorkers: expect,
 		Log:           os.Stderr,
 	})
-	if err != nil {
-		// A failed serve may leave children blocked on a dead socket.
-		for _, c := range cmds {
-			c.Process.Kill()
+	if sup != nil {
+		if err != nil {
+			// A failed serve may leave children blocked on a dead socket.
+			sup.Kill()
 		}
-	}
-	if werr := dist.WaitWorkers(cmds); werr != nil && err == nil {
-		fmt.Fprintf(os.Stderr, "campaign: %v (its leases were re-issued; output is complete)\n", werr)
+		if werr := sup.Wait(2 * time.Second); werr != nil && err == nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v (its leases were re-issued; output is complete)\n", werr)
+		}
 	}
 	return sum, err
 }
@@ -455,18 +487,32 @@ func archiveFile(path string) (string, error) {
 
 // validateFlags rejects contradictory or unknown flag values up front, with
 // one-line errors, before any targets are enumerated or files touched.
-func validateFlags(fs *flag.FlagSet, scenarios, connect string, worker bool, spawnN int, coordinate string) error {
-	var badLease bool
+func validateFlags(fs *flag.FlagSet, scenarios, connect string, worker bool, spawnN int, coordinate string,
+	maxRespawn int, faultSeed uint64) error {
+	var badLease, badReconn bool
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name != "lease-timeout" {
-			return
-		}
-		if d, err := time.ParseDuration(f.Value.String()); err == nil && d <= 0 {
-			badLease = true
+		switch f.Name {
+		case "lease-timeout":
+			if d, err := time.ParseDuration(f.Value.String()); err == nil && d <= 0 {
+				badLease = true
+			}
+		case "reconnect-backoff":
+			if d, err := time.ParseDuration(f.Value.String()); err == nil && d <= 0 {
+				badReconn = true
+			}
 		}
 	})
 	if badLease {
 		return fmt.Errorf("campaign: -lease-timeout must be positive (omit it for the 15s default)")
+	}
+	if badReconn {
+		return fmt.Errorf("campaign: -reconnect-backoff must be positive (omit it for the 100ms default)")
+	}
+	if maxRespawn < 0 {
+		return fmt.Errorf("campaign: -max-respawn must be non-negative")
+	}
+	if faultSeed != 0 && coordinate == "" && spawnN == 0 {
+		return fmt.Errorf("campaign: -faultnet only applies to a coordinator (-coordinate or -spawn)")
 	}
 	if spawnN < 0 {
 		return fmt.Errorf("campaign: -spawn must be non-negative")

@@ -144,3 +144,22 @@ func TestRunBadFlags(t *testing.T) {
 		t.Fatal("missing targets file accepted")
 	}
 }
+
+// TestRunBadDistFlags checks the distributed-plane knobs are validated up
+// front with one-line errors, before any campaign state is touched.
+func TestRunBadDistFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative max-respawn", []string{"-spawn", "2", "-max-respawn", "-1"}},
+		{"zero reconnect-backoff", []string{"-worker", "-connect", "sock", "-reconnect-backoff", "0s"}},
+		{"negative reconnect-backoff", []string{"-worker", "-connect", "sock", "-reconnect-backoff", "-5ms"}},
+		{"faultnet without coordinator", []string{"-faultnet", "7"}},
+	}
+	for _, tc := range cases {
+		if err := run(tc.args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 )
 
@@ -71,18 +72,48 @@ func Fingerprint(targets []Target, samples int) uint64 {
 	return h.Sum64()
 }
 
-// Save writes the checkpoint atomically (temp file + rename), so a crash
-// mid-save leaves the previous checkpoint intact.
+// Save writes the checkpoint atomically and durably: temp file, fsync,
+// rename, fsync of the containing directory. Rename alone only orders the
+// replacement against other *writes* — after a host crash, a filesystem
+// may surface the new name pointing at an unsynced (empty) file. Syncing
+// the temp file before the rename and the directory after it closes both
+// holes, so a crash at any instant leaves either the previous checkpoint
+// or the complete new one.
 func (c Checkpoint) Save(path string) error {
 	data, err := json.Marshal(c)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	// Some platforms cannot fsync a directory handle; the rename itself is
+	// still atomic there, so degrade silently rather than fail the save.
+	if err := dir.Sync(); err != nil {
+		return nil
+	}
+	return nil
 }
 
 // LoadCheckpoint reads a checkpoint file.

@@ -134,18 +134,38 @@ func Serve(cfg Config) (*campaign.Summary, error) {
 		}()
 	}
 	go func() {
+		backoff := 10 * time.Millisecond
 		for {
 			conn, aerr := cfg.Listener.Accept()
 			if aerr != nil {
+				// Transient accept failures (EMFILE pressure, an injected
+				// faultnet hiccup) are retried with capped backoff — only a
+				// persistent listener failure with work remaining strands
+				// the campaign and must surface.
+				var tmp interface{ Temporary() bool }
+				if errors.As(aerr, &tmp) && tmp.Temporary() {
+					if d := cfg.Campaign.Obs.DistObs(); d != nil {
+						d.AcceptRetries.Inc()
+					}
+					c.logf("dist: transient accept failure (retrying in %v): %v", backoff, aerr)
+					select {
+					case <-stop:
+						return
+					case <-time.After(backoff):
+					}
+					if backoff *= 2; backoff > time.Second {
+						backoff = time.Second
+					}
+					continue
+				}
 				select {
 				case <-stop:
 				default:
-					// A listener failure with work remaining strands the
-					// campaign; surface it rather than hanging.
 					c.fail(fmt.Errorf("dist: accept: %w", aerr))
 				}
 				return
 			}
+			backoff = 10 * time.Millisecond
 			c.wg.Add(1)
 			go c.handle(conn)
 		}
@@ -203,6 +223,9 @@ func (c *coordinator) handle(conn net.Conn) {
 	defer c.wg.Done()
 	defer conn.Close()
 	w := newWire(conn)
+	// A worker that stops reading must fail our sends rather than wedging
+	// this handler (and the span it holds) behind TCP backpressure.
+	w.writeTimeout = c.cfg.LeaseTimeout
 
 	conn.SetReadDeadline(time.Now().Add(c.cfg.LeaseTimeout))
 	m, err := w.recv()
@@ -232,9 +255,14 @@ func (c *coordinator) handle(conn net.Conn) {
 		c.mu.Lock()
 		delete(c.conns, id)
 		c.mu.Unlock()
-		c.table.revoke(id)
+		n := c.table.revoke(id)
+		if n > 0 {
+			if d := c.cfg.Campaign.Obs.DistObs(); d != nil {
+				d.LeaseReissues.Add(uint64(n))
+			}
+		}
 		if !clean {
-			c.logf("dist: worker %d lost — leases re-issued", id)
+			c.logf("dist: worker %d lost — %d leases re-issued", id, n)
 		}
 	}()
 

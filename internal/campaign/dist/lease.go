@@ -112,11 +112,12 @@ func (t *leaseTable) complete(lo, hi int) bool {
 }
 
 // revoke returns every outstanding lease held by worker to the re-issue
-// queue (sorted by lo) and wakes waiting granters.
-func (t *leaseTable) revoke(worker int) {
+// queue (sorted by lo) and wakes waiting granters. The count of spans
+// re-queued feeds the dist telemetry.
+func (t *leaseTable) revoke(worker int) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	changed := false
+	revoked := 0
 	for lo, li := range t.out {
 		if li.worker != worker {
 			continue
@@ -132,11 +133,12 @@ func (t *leaseTable) revoke(worker int) {
 		t.reissue = append(t.reissue, span{})
 		copy(t.reissue[at+1:], t.reissue[at:])
 		t.reissue[at] = span{lo, li.hi}
-		changed = true
+		revoked++
 	}
-	if changed {
+	if revoked > 0 {
 		t.cond.Broadcast()
 	}
+	return revoked
 }
 
 // advance publishes a new emit frontier, widening the dispatch window.

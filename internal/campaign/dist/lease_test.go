@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLeaseReissueOrderingAfterMassRevoke revokes several workers' leases
+// in scrambled order and checks re-grants come back lowest-lo-first,
+// ahead of the never-issued cursor — the ordering that unblocks the
+// in-order emit frontier fastest after a fleet-wide loss.
+func TestLeaseReissueOrderingAfterMassRevoke(t *testing.T) {
+	tb := newLeaseTable(0, 40, 5, 100)
+	if sp, ok := tb.grant(1); !ok || sp != (span{0, 5}) {
+		t.Fatalf("grant 1 = %+v %v", sp, ok)
+	}
+	if sp, ok := tb.grant(2); !ok || sp != (span{5, 10}) {
+		t.Fatalf("grant 2 = %+v %v", sp, ok)
+	}
+	if sp, ok := tb.grant(3); !ok || sp != (span{10, 15}) {
+		t.Fatalf("grant 3 = %+v %v", sp, ok)
+	}
+	if sp, ok := tb.grant(1); !ok || sp != (span{15, 20}) {
+		t.Fatalf("grant 1b = %+v %v", sp, ok)
+	}
+
+	// Mass revoke in scrambled order; worker 1 held two spans.
+	if n := tb.revoke(2); n != 1 {
+		t.Fatalf("revoke(2) = %d, want 1", n)
+	}
+	if n := tb.revoke(1); n != 2 {
+		t.Fatalf("revoke(1) = %d, want 2", n)
+	}
+	if n := tb.revoke(3); n != 1 {
+		t.Fatalf("revoke(3) = %d, want 1", n)
+	}
+	if n := tb.revoke(3); n != 0 {
+		t.Fatalf("second revoke(3) = %d, want 0 (nothing held)", n)
+	}
+
+	// Re-grants must drain the queue lowest-lo-first before the cursor
+	// resumes at [20,25).
+	want := []span{{0, 5}, {5, 10}, {10, 15}, {15, 20}, {20, 25}}
+	for i, w := range want {
+		sp, ok := tb.grant(9)
+		if !ok || sp != w {
+			t.Fatalf("re-grant %d = %+v %v, want %+v", i, sp, ok, w)
+		}
+	}
+}
+
+// TestLeaseRevokeRacesReport races a worker-loss revoke against that
+// worker's in-flight report for the same span, many times. Exactly one
+// outcome is allowed per race: either the report wins (complete returns
+// true, the span is retired, nobody re-probes it) or the revoke wins (the
+// report is stale, complete returns false, and the span is re-grantable
+// exactly once). Either way no span is lost or completed twice.
+func TestLeaseRevokeRacesReport(t *testing.T) {
+	for i := 0; i < 300; i++ {
+		tb := newLeaseTable(0, 10, 5, 100)
+		if sp, ok := tb.grant(1); !ok || sp != (span{0, 5}) {
+			t.Fatalf("iter %d: grant = %+v %v", i, sp, ok)
+		}
+
+		var wg sync.WaitGroup
+		var completed bool
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			tb.revoke(1)
+		}()
+		go func() {
+			defer wg.Done()
+			completed = tb.complete(0, 5)
+		}()
+		wg.Wait()
+
+		// Whatever interleaving happened, the next grant decides: a
+		// completed span must never be handed out again, a revoked-first
+		// span must come back exactly once.
+		sp, ok := tb.grant(2)
+		if !ok {
+			t.Fatalf("iter %d: table drained with work left", i)
+		}
+		if completed {
+			if sp != (span{5, 10}) {
+				t.Fatalf("iter %d: completed span re-granted as %+v", i, sp)
+			}
+		} else {
+			if sp != (span{0, 5}) {
+				t.Fatalf("iter %d: revoked span not re-granted (got %+v)", i, sp)
+			}
+			// The original worker's late duplicate must lose to exactly one
+			// completion of the re-issued lease.
+			if !tb.complete(0, 5) {
+				t.Fatalf("iter %d: re-issued completion rejected", i)
+			}
+			if tb.complete(0, 5) {
+				t.Fatalf("iter %d: duplicate completion accepted", i)
+			}
+		}
+	}
+}
+
+// TestLeaseRevokeDuringGrantWait checks a revoke arriving while another
+// worker is parked in grant (window-blocked) wakes it with the re-issued
+// span rather than leaving it parked past the loss.
+func TestLeaseRevokeDuringGrantWait(t *testing.T) {
+	tb := newLeaseTable(0, 20, 5, 5) // window 5: only one span grantable
+	if sp, ok := tb.grant(1); !ok || sp != (span{0, 5}) {
+		t.Fatalf("grant = %+v %v", sp, ok)
+	}
+	got := make(chan span)
+	go func() {
+		sp, ok := tb.grant(2)
+		if !ok {
+			t.Error("waiting grant drained unexpectedly")
+		}
+		got <- sp
+	}()
+	// Worker 1 dies; its span must route to the parked worker 2.
+	tb.revoke(1)
+	if sp := <-got; sp != (span{0, 5}) {
+		t.Fatalf("post-revoke grant = %+v, want [0,5)", sp)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"reorder/internal/campaign"
 	"reorder/internal/obs"
@@ -117,6 +118,11 @@ type wire struct {
 	conn net.Conn
 	br   *bufio.Reader
 
+	// writeTimeout, when positive, bounds each framed send: a peer that
+	// stops reading (a stalled or half-dead worker) fails the write instead
+	// of wedging the sender behind TCP backpressure forever.
+	writeTimeout time.Duration
+
 	wmu sync.Mutex
 	bw  *bufio.Writer
 	enc []byte // reused header encode buffer
@@ -144,6 +150,9 @@ func (w *wire) sendPayload(m *Msg, jsonb, csvb []byte) error {
 	}
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
+	if w.writeTimeout > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+	}
 	w.enc = append(w.enc[:0], b...)
 	w.enc = append(w.enc, '\n')
 	if _, err := w.bw.Write(w.enc); err != nil {
@@ -244,10 +253,13 @@ func Listen(addr string) (net.Listener, error) {
 	}
 }
 
-// Dial connects to a coordinator address using Listen's address rules.
+// Dial connects to a coordinator address using Listen's address rules. A
+// bounded dial keeps a reconnecting worker's attempts from piling up
+// behind an unresponsive address.
 func Dial(addr string) (net.Conn, error) {
 	network, a := splitAddr(addr)
-	return net.Dial(network, a)
+	d := net.Dialer{Timeout: 10 * time.Second}
+	return d.Dial(network, a)
 }
 
 func splitAddr(addr string) (network, a string) {

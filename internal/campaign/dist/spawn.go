@@ -3,7 +3,12 @@ package dist
 import (
 	"fmt"
 	"io"
+	"os"
 	"os/exec"
+	"sync"
+	"time"
+
+	"reorder/internal/obs"
 )
 
 // Spawn forks n local worker processes running binary with args (the
@@ -39,4 +44,148 @@ func WaitWorkers(cmds []*exec.Cmd) error {
 		}
 	}
 	return first
+}
+
+// Supervisor keeps a fixed-size fleet of spawned worker processes alive:
+// a worker that exits nonzero mid-run is respawned (same argv) while the
+// shared restart budget lasts. Combined with the coordinator's lease
+// re-issue and the worker's own reconnect loop, this makes -spawn
+// self-healing: a crashed process neither loses targets nor duplicates
+// them, it only costs the wall time of re-probing its revoked spans.
+type Supervisor struct {
+	binary string
+	args   []string
+	stderr io.Writer
+	reg    *obs.Campaign
+
+	mu       sync.Mutex
+	procs    []*exec.Cmd // current process per slot
+	budget   int
+	stopping bool
+	firstErr error
+
+	exhausted chan struct{}
+	exOnce    sync.Once
+	wg        sync.WaitGroup
+}
+
+// Supervise spawns n workers and restarts crashed ones until budget total
+// respawns have been spent. A clean (exit 0) worker is never respawned —
+// it drained. reg, when set, counts respawns in the dist telemetry.
+func Supervise(n int, binary string, args []string, budget int, stderr io.Writer, reg *obs.Campaign) (*Supervisor, error) {
+	cmds, err := Spawn(n, binary, args, stderr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		binary: binary, args: args, stderr: stderr, reg: reg,
+		procs: cmds, budget: budget,
+		exhausted: make(chan struct{}),
+	}
+	for i := range cmds {
+		s.wg.Add(1)
+		go s.monitor(i, cmds[i])
+	}
+	return s, nil
+}
+
+// monitor owns slot i: it reaps the slot's process and respawns on crash
+// while the budget lasts and the run isn't stopping.
+func (s *Supervisor) monitor(i int, cmd *exec.Cmd) {
+	defer s.wg.Done()
+	for {
+		err := cmd.Wait()
+		s.mu.Lock()
+		if err == nil || s.stopping {
+			// Clean drain, or a death we caused (or no longer care about)
+			// during shutdown.
+			s.mu.Unlock()
+			return
+		}
+		if s.budget <= 0 {
+			if s.firstErr == nil {
+				s.firstErr = fmt.Errorf("dist: worker slot %d: %w (respawn budget exhausted)", i, err)
+			}
+			s.mu.Unlock()
+			s.exOnce.Do(func() { close(s.exhausted) })
+			return
+		}
+		s.budget--
+		next := exec.Command(s.binary, s.args...)
+		next.Stderr = s.stderr
+		serr := next.Start()
+		if serr != nil {
+			if s.firstErr == nil {
+				s.firstErr = fmt.Errorf("dist: respawn worker slot %d: %w", i, serr)
+			}
+			s.mu.Unlock()
+			s.exOnce.Do(func() { close(s.exhausted) })
+			return
+		}
+		s.procs[i] = next
+		s.mu.Unlock()
+		if d := s.reg.DistObs(); d != nil {
+			d.Respawns.Inc()
+		}
+		fmt.Fprintf(s.stderr, "dist: worker slot %d died (%v) — respawned\n", i, err)
+		cmd = next
+	}
+}
+
+// Exhausted is closed when the respawn budget is spent on a crash (or a
+// respawn itself failed): the caller should drain the campaign rather
+// than wait for workers that will never come back.
+func (s *Supervisor) Exhausted() <-chan struct{} { return s.exhausted }
+
+// Drain marks the run as stopping: subsequent worker exits are expected
+// and never respawned or recorded as failures.
+func (s *Supervisor) Drain() {
+	s.mu.Lock()
+	s.stopping = true
+	s.mu.Unlock()
+}
+
+// Kill forcibly terminates every current worker process.
+func (s *Supervisor) Kill() {
+	s.mu.Lock()
+	procs := append([]*exec.Cmd(nil), s.procs...)
+	s.mu.Unlock()
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+// Wait reaps the fleet, giving stragglers grace to notice the campaign is
+// over before killing them — a respawned worker can be sitting in
+// reconnect backoff against a listener that already closed, and nothing
+// else will unstick it. Returns the first unexpected failure.
+func (s *Supervisor) Wait(grace time.Duration) error {
+	s.Drain()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.Kill()
+		<-done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+// Processes returns the current process handles, one per slot — a test
+// hook for targeted kills.
+func (s *Supervisor) Processes() []*os.Process {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := make([]*os.Process, len(s.procs))
+	for i, cmd := range s.procs {
+		if cmd != nil {
+			ps[i] = cmd.Process
+		}
+	}
+	return ps
 }

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 
@@ -32,7 +34,32 @@ type WorkerConfig struct {
 	// Heartbeat is the liveness send interval (default 2s — far inside
 	// the coordinator's lease timeout).
 	Heartbeat time.Duration
+
+	// ReconnectBackoff is the base delay between reconnect attempts after
+	// a connection loss; attempts back off exponentially with jitter from
+	// here (default 100ms). Reconnection is safe by construction: the
+	// coordinator re-issues the lost session's leases and first-report-wins
+	// drops any duplicate, so output bytes cannot change.
+	ReconnectBackoff time.Duration
+	// MaxReconnects bounds *consecutive* failed connection attempts (dial
+	// or handshake failures) before the worker gives up; a completed
+	// handshake resets the count, so a long campaign survives any number
+	// of separate disconnects. Default 8; negative disables reconnection
+	// entirely (one session, as before this knob existed).
+	MaxReconnects int
+	// WriteTimeout bounds each framed send toward the coordinator
+	// (default 15s), so a dead peer fails the session into the reconnect
+	// path instead of wedging it behind TCP backpressure.
+	WriteTimeout time.Duration
 }
+
+// permanentError marks worker failures that reconnecting cannot fix —
+// rejection, config mismatch, or a local render failure that would recur
+// on any re-issued lease.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
 
 // RunWorker connects to a coordinator and probes leased spans until
 // drained. Each leased span runs the normal arena-pooled probe pipeline;
@@ -41,6 +68,12 @@ type WorkerConfig struct {
 // delta for the span. Retries, backoff and the rate budget come from the
 // coordinator's welcome so output bytes cannot depend on worker-local
 // flags.
+//
+// A lost connection is not an error: the worker discards any unsent span
+// state, redials with exponential backoff + jitter, and re-runs the
+// hello/fingerprint handshake. Exactly-once output is the coordinator's
+// job (lease re-issue + first-report-wins); the worker only has to never
+// resend stale bytes, which discarding on reconnect guarantees.
 func RunWorker(cfg WorkerConfig) error {
 	if cfg.Samples == 0 {
 		cfg.Samples = 8
@@ -48,44 +81,140 @@ func RunWorker(cfg WorkerConfig) error {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = 2 * time.Second
 	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxReconnects == 0 {
+		cfg.MaxReconnects = 8
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 15 * time.Second
+	}
 	if len(cfg.Targets) == 0 {
 		return fmt.Errorf("dist: worker has no targets")
 	}
-	conn := cfg.Conn
-	if conn == nil {
-		var err error
-		conn, err = Dial(cfg.Connect)
-		if err != nil {
+
+	st := &workerState{
+		cfg:   cfg,
+		fp:    campaign.Fingerprint(cfg.Targets, cfg.Samples),
+		arena: campaign.NewProbeArena(),
+		delta: campaign.NewShard(),
+	}
+	if cfg.Obs != nil {
+		st.wobs = cfg.Obs.Worker(0)
+		st.arena.SetObserver(st.wobs)
+	}
+
+	if cfg.Conn != nil {
+		// An injected connection cannot be re-dialed; run one session.
+		_, err := st.runSession(cfg.Conn)
+		return err
+	}
+
+	failures := 0 // consecutive attempts that died before welcome
+	for {
+		var welcomed bool
+		conn, err := Dial(cfg.Connect)
+		if err == nil {
+			welcomed, err = st.runSession(conn)
+			if err == nil {
+				return nil // drained
+			}
+			var perm *permanentError
+			if errors.As(err, &perm) {
+				return err
+			}
+		}
+		if cfg.MaxReconnects < 0 {
 			return err
 		}
+		if welcomed {
+			failures = 0
+		} else {
+			failures++
+			if failures > cfg.MaxReconnects {
+				return fmt.Errorf("dist: giving up after %d consecutive failed connections: %w", failures, err)
+			}
+		}
+		sleepBackoff(cfg.ReconnectBackoff, failures)
 	}
-	defer conn.Close()
-	w := newWire(conn)
+}
 
-	fp := campaign.Fingerprint(cfg.Targets, cfg.Samples)
-	if err := w.send(&Msg{Type: MsgHello, Version: ProtocolVersion, Fingerprint: fp}); err != nil {
-		return err
+// sleepBackoff sleeps base<<n (capped at 5s) with ±50% jitter, decorrelating
+// a fleet of workers reconnecting to a coordinator that just came back.
+// This randomness touches only connection pacing, never output bytes.
+func sleepBackoff(base time.Duration, n int) {
+	d := base
+	for i := 0; i < n && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	time.Sleep(d)
+}
+
+// workerState is the probe machinery that outlives any one connection:
+// the arena, telemetry shard, aggregator delta and render buffers. Span
+// state (delta, buffers) is reset at each span receipt, so bytes from a
+// span interrupted by a connection loss can never leak into a later
+// report.
+type workerState struct {
+	cfg   WorkerConfig
+	fp    uint64
+	arena *campaign.ProbeArena
+	wobs  *obs.Worker
+	delta *campaign.Shard
+
+	jsonBuf, csvBuf []byte
+	res             campaign.TargetResult
+
+	sessions int
+}
+
+// runSession runs one connection from handshake to drain or death.
+// welcomed reports whether the handshake completed (resets the caller's
+// consecutive-failure budget); a nil error means the coordinator drained
+// this worker and the run is over.
+func (st *workerState) runSession(conn net.Conn) (welcomed bool, err error) {
+	defer conn.Close()
+	cfg := st.cfg
+	w := newWire(conn)
+	w.writeTimeout = cfg.WriteTimeout
+
+	if err := w.send(&Msg{Type: MsgHello, Version: ProtocolVersion, Fingerprint: st.fp}); err != nil {
+		return false, err
 	}
 	m, err := w.recv()
 	if err != nil {
-		return err
+		return false, err
 	}
 	switch m.Type {
 	case MsgWelcome:
 	case MsgReject:
-		return fmt.Errorf("dist: coordinator rejected worker: %s", m.Reason)
+		return false, &permanentError{fmt.Errorf("dist: coordinator rejected worker: %s", m.Reason)}
 	default:
-		return fmt.Errorf("dist: expected welcome, got %q", m.Type)
+		return false, fmt.Errorf("dist: expected welcome, got %q", m.Type)
 	}
 	if m.Samples != cfg.Samples {
-		return fmt.Errorf("dist: coordinator wants %d samples, worker has %d", m.Samples, cfg.Samples)
+		return false, &permanentError{fmt.Errorf("dist: coordinator wants %d samples, worker has %d", m.Samples, cfg.Samples)}
 	}
+	if st.sessions > 0 {
+		if d := cfg.Obs.DistObs(); d != nil {
+			d.Reconnects.Inc()
+		}
+	}
+	st.sessions++
 	retries := m.Retries
 	backoff := time.Duration(m.BackoffNs)
 	limiter := newWorkerBucket(m.Rate, m.Burst)
 
 	// Heartbeats ride a separate goroutine through the wire's write lock,
-	// so a long probe span cannot starve liveness.
+	// so a long probe span cannot starve liveness. A failed heartbeat send
+	// also closes the connection: the main loop may be blocked in recv with
+	// no deadline (legitimately, awaiting a grant), and the close is what
+	// folds a silently dead coordinator into the reconnect path.
 	hbStop := make(chan struct{})
 	defer close(hbStop)
 	go func() {
@@ -95,6 +224,7 @@ func RunWorker(cfg WorkerConfig) error {
 			select {
 			case <-t.C:
 				if w.send(&Msg{Type: MsgHeartbeat}) != nil {
+					conn.Close()
 					return
 				}
 			case <-hbStop:
@@ -103,12 +233,6 @@ func RunWorker(cfg WorkerConfig) error {
 		}
 	}()
 
-	arena := campaign.NewProbeArena()
-	var wobs *obs.Worker
-	if cfg.Obs != nil {
-		wobs = cfg.Obs.Worker(0)
-		arena.SetObserver(wobs)
-	}
 	var csvEnc *campaign.CSVRowEncoder
 	if m.WantCSV {
 		csvEnc = campaign.NewCSVRowEncoder()
@@ -126,18 +250,27 @@ func RunWorker(cfg WorkerConfig) error {
 		}
 	}
 	wantJSONL := m.WantJSONL
-	delta := campaign.NewShard()
-	var jsonBuf, csvBuf []byte
-	var res campaign.TargetResult
+
+	// Spans reported on this session. Within one session the coordinator
+	// never sends the same span twice (a completed span is retired, and
+	// re-issue happens only after a connection loss, which ends the
+	// session), so receiving an already-reported span proves the control
+	// line was duplicated in transit. It must be skipped without counting
+	// as a lease reply: treating it as one desyncs the request/reply
+	// pairing, and the coordinator — whose handler parks deadline-free in
+	// grant() on the premise that a lease-requesting worker has nothing in
+	// flight — then never reads the reports this worker sends one slot
+	// ahead, wedging the run.
+	reported := make(map[int]int)
 
 	for {
 		if err := w.send(&Msg{Type: MsgLease}); err != nil {
-			return err
+			return true, err
 		}
 	await:
 		m, err := w.recv()
 		if err != nil {
-			return err
+			return true, err
 		}
 		switch m.Type {
 		case MsgDrain:
@@ -147,50 +280,57 @@ func RunWorker(cfg WorkerConfig) error {
 				bye.Obs = &wire
 			}
 			w.send(bye)
-			return nil
+			return true, nil
 		case MsgSpan:
 			if m.Hi > len(cfg.Targets) || m.Lo >= m.Hi {
-				return fmt.Errorf("dist: leased span [%d,%d) outside target range", m.Lo, m.Hi)
+				return true, &permanentError{fmt.Errorf("dist: leased span [%d,%d) outside target range", m.Lo, m.Hi)}
 			}
-			jsonBuf, csvBuf = jsonBuf[:0], csvBuf[:0]
+			if hi, ok := reported[m.Lo]; ok && hi == m.Hi {
+				goto await // duplicated span line; the real reply follows
+			}
+			// Reset span state here, not after the report: a previous
+			// session may have died mid-span, and its half-built delta and
+			// buffers must never contaminate this span's report.
+			st.delta.Reset()
+			st.jsonBuf, st.csvBuf = st.jsonBuf[:0], st.csvBuf[:0]
 			for i := m.Lo; i < m.Hi; i++ {
-				probeTarget(arena, wobs, cfg, &res, i, retries, backoff, limiter)
-				delta.Add(&res)
-				j0, c0 := len(jsonBuf), len(csvBuf)
+				probeTarget(st.arena, st.wobs, cfg, &st.res, i, retries, backoff, limiter)
+				st.delta.Add(&st.res)
+				j0, c0 := len(st.jsonBuf), len(st.csvBuf)
 				if wantJSONL {
-					jsonBuf = res.AppendJSON(jsonBuf)
-					jsonBuf = append(jsonBuf, '\n')
+					st.jsonBuf = st.res.AppendJSON(st.jsonBuf)
+					st.jsonBuf = append(st.jsonBuf, '\n')
 				}
 				if csvEnc != nil {
-					csvBuf, err = csvEnc.AppendRow(csvBuf, &res)
+					st.csvBuf, err = csvEnc.AppendRow(st.csvBuf, &st.res)
 					if err != nil {
 						// A row the worker cannot render faithfully would
 						// fail again on any re-issued lease; tell the
 						// coordinator the run is unservable.
 						w.send(&Msg{Type: MsgFail, Reason: err.Error()})
-						return err
+						return true, &permanentError{err}
 					}
 				}
-				if wobs != nil {
-					wobs.Targets.Inc()
-					wobs.RenderedJSONBytes.Add(uint64(len(jsonBuf) - j0))
-					wobs.RenderedCSVBytes.Add(uint64(len(csvBuf) - c0))
+				if st.wobs != nil {
+					st.wobs.Targets.Inc()
+					st.wobs.RenderedJSONBytes.Add(uint64(len(st.jsonBuf) - j0))
+					st.wobs.RenderedCSVBytes.Add(uint64(len(st.csvBuf) - c0))
 				}
 			}
-			snap := delta.Snapshot()
+			snap := st.delta.Snapshot()
 			rep := &Msg{
 				Type: MsgReport, Lo: m.Lo, Hi: m.Hi,
-				JSONLen: len(jsonBuf), CSVLen: len(csvBuf),
+				JSONLen: len(st.jsonBuf), CSVLen: len(st.csvBuf),
 				Shard: &snap,
 			}
-			if err := w.sendPayload(rep, jsonBuf, csvBuf); err != nil {
-				return err
+			if err := w.sendPayload(rep, st.jsonBuf, st.csvBuf); err != nil {
+				return true, err
 			}
-			delta.Reset()
+			reported[m.Lo] = m.Hi
 		case MsgHeartbeat:
 			goto await
 		default:
-			return fmt.Errorf("dist: unexpected message %q awaiting lease", m.Type)
+			return true, fmt.Errorf("dist: unexpected message %q awaiting lease", m.Type)
 		}
 	}
 }

@@ -1,0 +1,278 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped listener plus a dial helper against it.
+func pair(t *testing.T, cfg Config) (*Listener, func() net.Conn) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(raw, cfg)
+	t.Cleanup(func() { ln.Close() })
+	return ln, func() net.Conn {
+		c, err := net.Dial("tcp", raw.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+}
+
+// acceptOne accepts a single connection, skipping injected transient
+// accept failures.
+func acceptOne(t *testing.T, ln *Listener) net.Conn {
+	t.Helper()
+	for {
+		c, err := ln.Accept()
+		if err == nil {
+			t.Cleanup(func() { c.Close() })
+			return c
+		}
+		var tmp interface{ Temporary() bool }
+		if ok := asTemp(err, &tmp); !ok || !tmp.Temporary() {
+			t.Fatalf("accept: %v", err)
+		}
+	}
+}
+
+func asTemp(err error, out *interface{ Temporary() bool }) bool {
+	t, ok := err.(interface{ Temporary() bool })
+	if ok {
+		*out = t
+	}
+	return ok
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Chaos(42)
+	a, b := Wrap(nil, cfg), Wrap(nil, cfg)
+	for i := 0; i < 50; i++ {
+		if a.PlanFor(i) != b.PlanFor(i) {
+			t.Fatalf("plan %d differs between identically-seeded wraps", i)
+		}
+	}
+	c := Wrap(nil, Chaos(43))
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.PlanFor(i) == c.PlanFor(i) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds drew identical plans for 50 connections")
+	}
+}
+
+func TestWriteResetAtByteThreshold(t *testing.T) {
+	const at = 10
+	ln, dial := pair(t, Config{PReset: 1, ByteWindow: 1, Seed: 1})
+	peer := dial()
+	conn := acceptOne(t, ln).(*Conn)
+	// Force a known write-side plan regardless of the coin flip.
+	conn.plan = Plan{ResetWriteAt: at, ResetReadAt: -1, PartialAt: -1, DupLine: -1, TruncLine: -1}
+
+	payload := bytes.Repeat([]byte{'x'}, 64)
+	n, err := conn.Write(payload)
+	if n != at {
+		t.Fatalf("wrote %d bytes before reset, want %d", n, at)
+	}
+	if !IsInjected(err) {
+		t.Fatalf("want injected reset error, got %v", err)
+	}
+	got, _ := io.ReadAll(peer)
+	if len(got) != at {
+		t.Fatalf("peer received %d bytes, want %d", len(got), at)
+	}
+	evs := ln.Events()
+	if len(evs) != 1 || evs[0].Kind != KindReset {
+		t.Fatalf("events = %+v, want one reset", evs)
+	}
+}
+
+func TestReadResetAtByteThreshold(t *testing.T) {
+	const at = 5
+	ln, dial := pair(t, Config{})
+	peer := dial()
+	conn := acceptOne(t, ln).(*Conn)
+	conn.plan = Plan{ResetReadAt: at, ResetWriteAt: -1, PartialAt: -1, DupLine: -1, TruncLine: -1}
+
+	if _, err := peer.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	total := 0
+	var err error
+	for {
+		var n int
+		n, err = conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total != at {
+		t.Fatalf("read %d bytes before reset, want %d", total, at)
+	}
+	if !IsInjected(err) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+}
+
+func TestPartialWriteThenStall(t *testing.T) {
+	const at = 8
+	stall := 50 * time.Millisecond
+	ln, dial := pair(t, Config{})
+	peer := dial()
+	conn := acceptOne(t, ln).(*Conn)
+	conn.plan = Plan{PartialAt: at, Stall: stall, ResetReadAt: -1, ResetWriteAt: -1, DupLine: -1, TruncLine: -1}
+
+	start := time.Now()
+	n, err := conn.Write(bytes.Repeat([]byte{'y'}, 32))
+	elapsed := time.Since(start)
+	if n != at {
+		t.Fatalf("partial write delivered %d bytes, want %d", n, at)
+	}
+	if !IsInjected(err) {
+		t.Fatalf("want injected partial-stall, got %v", err)
+	}
+	if elapsed < stall {
+		t.Fatalf("write returned after %v, want >= %v stall", elapsed, stall)
+	}
+	got, _ := io.ReadAll(peer)
+	if len(got) != at {
+		t.Fatalf("peer received %d bytes, want %d", len(got), at)
+	}
+	evs := ln.Events()
+	if len(evs) != 1 || evs[0].Kind != KindPartialStall {
+		t.Fatalf("events = %+v, want one partial-stall", evs)
+	}
+}
+
+func TestDupLine(t *testing.T) {
+	ln, dial := pair(t, Config{})
+	peer := dial()
+	conn := acceptOne(t, ln).(*Conn)
+	conn.plan = Plan{DupLine: 1, ResetReadAt: -1, ResetWriteAt: -1, PartialAt: -1, TruncLine: -1}
+
+	if _, err := conn.Write([]byte("a\nb\nc\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	got, _ := io.ReadAll(peer)
+	if string(got) != "a\nb\nb\nc\n" {
+		t.Fatalf("peer saw %q, want duplicated middle line", got)
+	}
+}
+
+func TestDupLineAcrossWrites(t *testing.T) {
+	ln, dial := pair(t, Config{})
+	peer := dial()
+	conn := acceptOne(t, ln).(*Conn)
+	conn.plan = Plan{DupLine: 0, ResetReadAt: -1, ResetWriteAt: -1, PartialAt: -1, TruncLine: -1}
+
+	// The duplicated line spans two Write calls; the replay must carry
+	// the bytes from the first call too.
+	if _, err := conn.Write([]byte("hel")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("lo\nrest\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	got, _ := io.ReadAll(peer)
+	if string(got) != "hello\nhello\nrest\n" {
+		t.Fatalf("peer saw %q, want cross-write line duplicated", got)
+	}
+}
+
+func TestTruncLine(t *testing.T) {
+	ln, dial := pair(t, Config{})
+	peer := dial()
+	conn := acceptOne(t, ln).(*Conn)
+	conn.plan = Plan{TruncLine: 1, ResetReadAt: -1, ResetWriteAt: -1, PartialAt: -1, DupLine: -1}
+
+	_, err := conn.Write([]byte("first\nsecond\nthird\n"))
+	if !IsInjected(err) {
+		t.Fatalf("want injected trunc-line, got %v", err)
+	}
+	got, _ := io.ReadAll(peer)
+	if string(got) != "first\nsecond" {
+		t.Fatalf("peer saw %q, want truncated second line", got)
+	}
+	if _, err := conn.Write([]byte("more\n")); !IsInjected(err) {
+		t.Fatalf("write after fault death: want injected error, got %v", err)
+	}
+}
+
+func TestAcceptFailures(t *testing.T) {
+	ln, dial := pair(t, Config{AcceptFailures: 2})
+	fails := 0
+	done := make(chan struct{})
+	go func() { dial(); close(done) }()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			var tmp interface{ Temporary() bool }
+			if !asTemp(err, &tmp) || !tmp.Temporary() {
+				t.Errorf("injected accept error not Temporary: %v", err)
+				return
+			}
+			fails++
+			continue
+		}
+		c.Close()
+		break
+	}
+	<-done
+	if fails != 2 {
+		t.Fatalf("saw %d injected accept failures, want 2", fails)
+	}
+	evs := ln.Events()
+	if len(evs) != 2 || evs[0].Kind != KindAcceptError {
+		t.Fatalf("events = %+v, want two accept-errors", evs)
+	}
+}
+
+func TestMaxFaultsBudget(t *testing.T) {
+	ln, dial := pair(t, Config{MaxFaults: 1})
+	peerA := dial()
+	a := acceptOne(t, ln).(*Conn)
+	a.plan = Plan{ResetWriteAt: 2, ResetReadAt: -1, PartialAt: -1, DupLine: -1, TruncLine: -1}
+	peerB := dial()
+	b := acceptOne(t, ln).(*Conn)
+	b.plan = Plan{ResetWriteAt: 2, ResetReadAt: -1, PartialAt: -1, DupLine: -1, TruncLine: -1}
+
+	if _, err := a.Write([]byte("xxxx")); !IsInjected(err) {
+		t.Fatalf("first fault should fire within budget, got %v", err)
+	}
+	// Budget is spent: the second connection's identical plan goes inert.
+	if _, err := b.Write([]byte("xxxx")); err != nil {
+		t.Fatalf("budget exhausted but fault still fired: %v", err)
+	}
+	b.Close()
+	if got, _ := io.ReadAll(peerB); len(got) != 4 {
+		t.Fatalf("clean conn delivered %d bytes, want 4", len(got))
+	}
+	peerA.Close()
+	if evs := ln.Events(); len(evs) != 1 {
+		t.Fatalf("events = %+v, want exactly one (budget=1)", evs)
+	}
+}
+
+func TestChaosPresetTerminates(t *testing.T) {
+	// Sanity: the CLI preset has a budget, so a long exchange eventually
+	// runs clean and completes.
+	cfg := Chaos(7)
+	if cfg.MaxFaults == 0 {
+		t.Fatal("Chaos preset must bound its fault budget")
+	}
+}

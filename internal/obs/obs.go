@@ -248,6 +248,26 @@ type Worker struct {
 	_ [64]byte
 }
 
+// Dist is the distributed-plane telemetry: the self-healing machinery's
+// event counts. Reconnects and respawns are rare by construction (each one
+// is a recovered failure), so one shared padded block is plenty; worker
+// processes ship their side (reconnects) to the coordinator at bye.
+type Dist struct {
+	_ [64]byte
+	// Reconnects counts worker sessions re-established after a connection
+	// loss (successful re-handshakes, not attempts).
+	Reconnects Counter
+	// Respawns counts worker processes restarted by the spawn supervisor.
+	Respawns Counter
+	// LeaseReissues counts spans returned to the re-issue queue by worker
+	// loss or lease expiry.
+	LeaseReissues Counter
+	// AcceptRetries counts temporary accept failures the coordinator's
+	// listener loop retried instead of failing the run.
+	AcceptRetries Counter
+	_             [64]byte
+}
+
 // Sinks is the serial collector's telemetry: batch flushes, durable bytes,
 // checkpointing. Written only by the collector goroutine.
 type Sinks struct {
@@ -272,6 +292,7 @@ type Sinks struct {
 type Campaign struct {
 	Sched Scheduler
 	Sinks Sinks
+	Dist  Dist
 
 	workers []*Worker
 
@@ -316,6 +337,15 @@ func (c *Campaign) SchedObs() *Scheduler {
 		return nil
 	}
 	return &c.Sched
+}
+
+// DistObs returns the distributed-plane telemetry block, or nil for a nil
+// registry, mirroring SchedObs.
+func (c *Campaign) DistObs() *Dist {
+	if c == nil {
+		return nil
+	}
+	return &c.Dist
 }
 
 func (c *Campaign) now() time.Time {

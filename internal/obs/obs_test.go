@@ -426,3 +426,34 @@ func TestConcurrentScrapeIsRaceFree(t *testing.T) {
 	}
 	tr.Close()
 }
+
+// TestAbsorbRemoteDist checks a remote worker's dist-plane counters fold
+// into the coordinator registry's totals (reconnects happen on the worker
+// side of the wire and ship at bye, like scheduler retries do).
+func TestAbsorbRemoteDist(t *testing.T) {
+	remote := NewCampaign(1)
+	remote.Dist.Reconnects.Add(3)
+	remote.Dist.LeaseReissues.Add(2)
+
+	coord := NewCampaign(2)
+	coord.Dist.Respawns.Inc()
+	if err := coord.AbsorbRemote(0, remote.Wire()); err != nil {
+		t.Fatal(err)
+	}
+	s := coord.Snapshot()
+	if s.Dist.Reconnects != 3 || s.Dist.LeaseReissues != 2 || s.Dist.Respawns != 1 {
+		t.Fatalf("dist snapshot = %+v, want reconnects=3 lease_reissues=2 respawns=1", s.Dist)
+	}
+
+	// The -stats text gains a dist line only when something healed.
+	var buf bytes.Buffer
+	s.WriteText(&buf)
+	if !strings.Contains(buf.String(), "dist: 3 reconnects, 1 respawns, 2 lease re-issues, 0 accept retries") {
+		t.Fatalf("stats text missing dist line:\n%s", buf.String())
+	}
+	buf.Reset()
+	NewCampaign(1).Snapshot().WriteText(&buf)
+	if strings.Contains(buf.String(), "dist:") {
+		t.Fatalf("quiet run printed a dist line:\n%s", buf.String())
+	}
+}

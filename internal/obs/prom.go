@@ -105,4 +105,9 @@ func (c *Campaign) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "campaign_sink_bytes_total{sink=\"csv\"} %d\n", s.Sinks.CSVBytes)
 	promCounter(w, "campaign_checkpoints_total", "checkpoint saves", s.Sinks.Checkpoints)
 	promRecorders(w, "campaign_sink_flush_seconds", "sink flush latency before checkpoints", &c.Sinks.FlushNanos)
+
+	promCounter(w, "campaign_dist_reconnects_total", "worker sessions re-established after connection loss", s.Dist.Reconnects)
+	promCounter(w, "campaign_dist_respawns_total", "worker processes restarted by the spawn supervisor", s.Dist.Respawns)
+	promCounter(w, "campaign_dist_lease_reissues_total", "spans returned to the re-issue queue by worker loss", s.Dist.LeaseReissues)
+	promCounter(w, "campaign_dist_accept_retries_total", "temporary accept failures retried by the coordinator", s.Dist.AcceptRetries)
 }

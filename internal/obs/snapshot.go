@@ -64,6 +64,19 @@ type WorkerTotals struct {
 	RenderedCSV    uint64 `json:"rendered_csv_bytes"`
 }
 
+// DistSnapshot is the distributed-plane block of a Snapshot: self-healing
+// events (all zero for a single-process run).
+type DistSnapshot struct {
+	Reconnects    uint64 `json:"reconnects"`
+	Respawns      uint64 `json:"respawns"`
+	LeaseReissues uint64 `json:"lease_reissues"`
+	AcceptRetries uint64 `json:"accept_retries"`
+}
+
+func (d DistSnapshot) any() bool {
+	return d.Reconnects|d.Respawns|d.LeaseReissues|d.AcceptRetries != 0
+}
+
 // SinksSnapshot is the sink/checkpoint block of a Snapshot.
 type SinksSnapshot struct {
 	JSONLBatches uint64         `json:"jsonl_batches"`
@@ -91,6 +104,7 @@ type Snapshot struct {
 	Workers      WorkerTotals      `json:"workers"`
 	ProbeLatency LatencySummary    `json:"probe_latency"`
 	Sinks        SinksSnapshot     `json:"sinks"`
+	Dist         DistSnapshot      `json:"dist"`
 }
 
 // Snapshot scrapes the registry. Nil-safe: a nil registry yields a zero
@@ -142,6 +156,12 @@ func (c *Campaign) Snapshot() Snapshot {
 		CSVBytes:     c.Sinks.CSVBytes.Load(),
 		Checkpoints:  c.Sinks.Checkpoints.Load(),
 		Flush:        summarizeLatency(MergeRecorders(&c.Sinks.FlushNanos), c.Sinks.FlushNanos.Sum()),
+	}
+	s.Dist = DistSnapshot{
+		Reconnects:    c.Dist.Reconnects.Load(),
+		Respawns:      c.Dist.Respawns.Load(),
+		LeaseReissues: c.Dist.LeaseReissues.Load(),
+		AcceptRetries: c.Dist.AcceptRetries.Load(),
 	}
 	s.Done, s.Total, s.InstRate = c.Progress()
 	if !c.startWall.IsZero() {
@@ -202,4 +222,10 @@ func (s Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintf(w, ", flush p99=%s", fmtNs(s.Sinks.Flush.P99Ns))
 	}
 	fmt.Fprintln(w)
+	// Only distributed runs that actually healed something print the dist
+	// line, keeping single-process -stats output byte-stable.
+	if s.Dist.any() {
+		fmt.Fprintf(w, "dist: %d reconnects, %d respawns, %d lease re-issues, %d accept retries\n",
+			s.Dist.Reconnects, s.Dist.Respawns, s.Dist.LeaseReissues, s.Dist.AcceptRetries)
+	}
 }

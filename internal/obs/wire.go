@@ -18,6 +18,7 @@ type WorkerWire struct {
 	ProbeLatency stats.HistogramCounts `json:"probe_latency"`
 	ProbeSumNs   uint64                `json:"probe_sum_ns"`
 	Scheduler    SchedulerSnapshot     `json:"scheduler"`
+	Dist         DistSnapshot          `json:"dist"`
 }
 
 // Wire captures the registry's cross-process telemetry contribution.
@@ -30,6 +31,7 @@ func (c *Campaign) Wire() WorkerWire {
 	s := c.Snapshot()
 	w.Totals = s.Workers
 	w.Scheduler = s.Scheduler
+	w.Dist = s.Dist
 	if h := c.ProbeLatencyHistogram(); h != nil {
 		w.ProbeLatency = h.CountsSnapshot()
 	}
@@ -69,6 +71,10 @@ func (c *Campaign) AbsorbRemote(shard int, w WorkerWire) error {
 	c.Sched.Retries.Add(w.Scheduler.Retries)
 	c.Sched.BackoffNanos.Add(w.Scheduler.BackoffNanos)
 	c.Sched.RateWaitNanos.Add(w.Scheduler.RateWaitNanos)
+	c.Dist.Reconnects.Add(w.Dist.Reconnects)
+	c.Dist.Respawns.Add(w.Dist.Respawns)
+	c.Dist.LeaseReissues.Add(w.Dist.LeaseReissues)
+	c.Dist.AcceptRetries.Add(w.Dist.AcceptRetries)
 	return wk.ProbeNanos.absorbCounts(w.ProbeLatency, w.ProbeSumNs)
 }
 
